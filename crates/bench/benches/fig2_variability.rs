@@ -1,0 +1,11 @@
+//! Regenerates the paper artifact; see `vb_bench::fig2`.
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let report = vb_bench::fig2::run(vb_bench::DEFAULT_SEED);
+    vb_bench::fig2::print(&report);
+    println!(
+        "\n[fig2_variability completed in {:.1}s]",
+        t0.elapsed().as_secs_f64()
+    );
+}

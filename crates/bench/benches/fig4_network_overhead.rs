@@ -1,0 +1,11 @@
+//! Regenerates the paper artifact; see `vb_bench::fig4`.
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let report = vb_bench::fig4::run(vb_bench::DEFAULT_SEED);
+    vb_bench::fig4::print(&report);
+    println!(
+        "\n[fig4_network_overhead completed in {:.1}s]",
+        t0.elapsed().as_secs_f64()
+    );
+}

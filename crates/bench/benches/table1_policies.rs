@@ -1,0 +1,11 @@
+//! Regenerates the paper artifact; see `vb_bench::table1`.
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let report = vb_bench::table1::run(vb_bench::DEFAULT_SEED);
+    vb_bench::table1::print(&report);
+    println!(
+        "\n[table1_policies completed in {:.1}s]",
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,166 @@
+//! Table 1 + Figure 7 — "Comparison of migration overhead between
+//! different scheduling policies".
+//!
+//! Runs the four §3.1 policies (Greedy, MIP-24h, MIP, MIP-peak) over a
+//! 7-day period on one multi-VB group, all against identical arrival
+//! sequences and power traces, and reports Total / 99 %ile / Peak / Std
+//! of the per-interval migration volume (Table 1) plus the per-policy
+//! volume CDFs and zero-fractions (Fig 7).
+
+use vb_sched::{
+    select_group, GreedyPolicy, GroupSim, GroupSimConfig, MipConfig, MipPolicy, PipelineConfig,
+    Policy, PolicySummary,
+};
+use vb_stats::report::{thousands, Table};
+use vb_stats::Cdf;
+use vb_trace::Catalog;
+
+/// The full Table 1 / Fig 7 report.
+#[derive(Debug, Clone)]
+pub struct Table1Report {
+    /// The multi-VB group the pipeline selected.
+    pub group: Vec<String>,
+    /// One summary per policy, in Table 1 row order.
+    pub rows: Vec<PolicySummary>,
+}
+
+impl Table1Report {
+    /// Summary for a named policy.
+    pub fn row(&self, policy: &str) -> Option<&PolicySummary> {
+        self.rows.iter().find(|r| r.policy == policy)
+    }
+}
+
+/// Run the Table 1 experiment on the Figure 3 trio (the paper's
+/// archetypal multi-VB group).
+pub fn run(seed: u64) -> Table1Report {
+    run_on_group(seed, &["NO-solar", "UK-wind", "PT-wind"])
+}
+
+/// Run on the pipeline-selected best k-clique instead.
+pub fn run_pipeline_group(seed: u64, k: usize) -> Table1Report {
+    let catalog = Catalog::europe(seed);
+    let group = select_group(
+        &catalog,
+        &PipelineConfig {
+            k,
+            ..PipelineConfig::default()
+        },
+    );
+    let names: Vec<&str> = group.iter().map(|s| s.as_str()).collect();
+    run_on_group(seed, &names)
+}
+
+/// Run the four policies over one group.
+pub fn run_on_group(seed: u64, names: &[&str]) -> Table1Report {
+    let catalog = Catalog::europe(seed);
+    let cfg = GroupSimConfig {
+        seed,
+        ..GroupSimConfig::default()
+    };
+
+    let mut policies: Vec<Box<dyn Policy>> = vec![
+        Box::new(GreedyPolicy::new()),
+        Box::new(MipPolicy::new(MipConfig::mip_24h())),
+        Box::new(MipPolicy::new(MipConfig::mip())),
+        Box::new(MipPolicy::new(MipConfig::mip_peak())),
+    ];
+    let rows = policies
+        .iter_mut()
+        .map(|p| GroupSim::new(&catalog, names, cfg.clone()).run(p.as_mut()))
+        .collect();
+    Table1Report {
+        group: names.iter().map(|s| s.to_string()).collect(),
+        rows,
+    }
+}
+
+/// Print Table 1 and the Fig 7 CDF points.
+pub fn print(report: &Table1Report) {
+    println!("multi-VB group: {:?}", report.group);
+    println!("\n== Table 1: migration overhead (GB) ==");
+    let mut table = Table::new(&["Policy", "Total", "99%ile", "Peak", "Std", "Zero-steps"]);
+    for r in &report.rows {
+        table.row(&[
+            r.policy.clone(),
+            thousands(r.total_gb),
+            thousands(r.p99_gb),
+            thousands(r.peak_gb),
+            thousands(r.std_gb),
+            format!("{:.0}%", 100.0 * r.zero_fraction),
+        ]);
+    }
+    print!("{}", table.render());
+
+    if let (Some(greedy), Some(mip), Some(peak)) = (
+        report.row("Greedy"),
+        report.row("MIP"),
+        report.row("MIP-peak"),
+    ) {
+        println!(
+            "\nMIP total vs Greedy: {:.0}% lower  [paper: >30% lower]",
+            100.0 * (1.0 - mip.total_gb / greedy.total_gb)
+        );
+        println!(
+            "MIP-peak p99 vs Greedy: {:.1}x lower [paper: >4.2x]; std {:.1}x lower [paper: 2.7x]",
+            greedy.p99_gb / peak.p99_gb.max(1e-9),
+            greedy.std_gb / peak.std_gb.max(1e-9)
+        );
+    }
+
+    println!("\n== Figure 7: CDF of per-interval migration volume (non-zero) ==");
+    for r in &report.rows {
+        let cdf = Cdf::of_nonzero(&r.per_step_gb);
+        let pts = cdf.points(8);
+        let series: Vec<String> = pts
+            .iter()
+            .map(|(x, p)| format!("({x:.0} GB, {p:.2})"))
+            .collect();
+        println!(
+            "{:>8}: zeros {:.0}%  {}",
+            r.policy,
+            100.0 * r.zero_fraction,
+            series.join(" ")
+        );
+    }
+    println!("[paper zero-fractions: Greedy 81%, MIP 94%, MIP-peak 74%]");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape_holds() {
+        // The qualitative Table 1 ordering, on a short 3-day run to keep
+        // test time bounded (the bench runs the full 7 days).
+        let catalog = Catalog::europe(42);
+        let cfg = GroupSimConfig {
+            days: 3,
+            ..GroupSimConfig::default()
+        };
+        let names = ["NO-solar", "UK-wind", "PT-wind"];
+        let mut greedy = GreedyPolicy::new();
+        let mut mip = MipPolicy::new(MipConfig::mip());
+        let g = GroupSim::new(&catalog, &names, cfg.clone()).run(&mut greedy);
+        let m = GroupSim::new(&catalog, &names, cfg).run(&mut mip);
+        // Short windows are noisy (the 7-day bench run shows MIP ahead);
+        // guard only against gross regressions here.
+        assert!(
+            m.total_gb < g.total_gb * 1.3,
+            "MIP ({}) should not lose badly to Greedy ({})",
+            m.total_gb,
+            g.total_gb
+        );
+        assert_eq!(m.per_step_gb.len(), g.per_step_gb.len());
+    }
+
+    #[test]
+    fn report_row_lookup() {
+        let r = Table1Report {
+            group: vec![],
+            rows: vec![],
+        };
+        assert!(r.row("Greedy").is_none());
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the cluster simulator: resource-accounting
+//! invariants must hold for arbitrary power/arrival sequences.
+
+use proptest::prelude::*;
+use vb_cluster::{Cluster, ClusterConfig, VmRequest};
+
+fn small_cfg() -> ClusterConfig {
+    ClusterConfig {
+        n_servers: 10,
+        cores_per_server: 40,
+        mem_per_server_gb: 512.0,
+        target_util: 0.7,
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Step {
+        power: f64,
+        arrivals: Vec<VmRequest>,
+    },
+}
+
+fn arb_request() -> impl Strategy<Value = VmRequest> {
+    (1u32..=32, 1u32..=200, proptest::bool::ANY).prop_map(|(cores, life, stable)| {
+        if stable {
+            VmRequest::stable(cores, cores as f64 * 4.0, life)
+        } else {
+            VmRequest::degradable(cores, cores as f64 * 4.0, life)
+        }
+    })
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0.0..=1.0f64, proptest::collection::vec(arb_request(), 0..6))
+            .prop_map(|(power, arrivals)| Op::Step { power, arrivals }),
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cluster_invariants_hold_for_any_sequence(ops in arb_ops()) {
+        let cfg = small_cfg();
+        let total_cores = cfg.total_cores();
+        let mut cluster = Cluster::new(cfg);
+        let mut prev_step = 0;
+
+        for op in &ops {
+            let Op::Step { power, arrivals } = op;
+            let stats = cluster.step(*power, arrivals);
+
+            // Time advances monotonically.
+            prop_assert!(stats.step >= prev_step);
+            prev_step = stats.step + 1;
+
+            // Power budget bounds the allocation.
+            prop_assert!(stats.allocated_cores <= stats.budget_cores,
+                "allocated {} > budget {}", stats.allocated_cores, stats.budget_cores);
+            prop_assert!(stats.budget_cores <= total_cores);
+            prop_assert!((0.0..=1.0).contains(&stats.utilization));
+
+            // Traffic accounting is non-negative and consistent with
+            // migration counts.
+            prop_assert!(stats.out_gb >= 0.0 && stats.in_gb >= 0.0);
+            prop_assert!((stats.migrations_out == 0) == (stats.out_gb == 0.0));
+            prop_assert!((stats.migrations_in == 0) == (stats.in_gb == 0.0));
+
+            // Arrivals are either admitted or queued (or dropped as
+            // unhostable), never duplicated.
+            prop_assert!(stats.admitted + stats.queued <= arrivals.len());
+        }
+    }
+
+    #[test]
+    fn full_power_steady_state_never_migrates(reqs in proptest::collection::vec(arb_request(), 1..30)) {
+        let mut cluster = Cluster::new(small_cfg());
+        let mut total_out = 0.0;
+        for chunk in reqs.chunks(3) {
+            let stats = cluster.step(1.0, chunk);
+            total_out += stats.out_gb;
+        }
+        prop_assert_eq!(total_out, 0.0, "no power dip, no eviction");
+    }
+
+    #[test]
+    fn zero_power_leaves_nothing_running(reqs in proptest::collection::vec(arb_request(), 1..20)) {
+        let mut cluster = Cluster::new(small_cfg());
+        cluster.step(1.0, &reqs);
+        let stats = cluster.step(0.0, &[]);
+        prop_assert_eq!(stats.allocated_cores, 0);
+        prop_assert_eq!(stats.budget_cores, 0);
+        prop_assert_eq!(cluster.running_vms(), 0);
+    }
+
+    #[test]
+    fn recovery_restores_capacity_use(power_dip in 0.0..0.5f64) {
+        let mut cluster = Cluster::new(small_cfg());
+        // Fill with long-lived stable VMs.
+        let reqs: Vec<VmRequest> = (0..20).map(|_| VmRequest::stable(8, 32.0, 500)).collect();
+        cluster.step(1.0, &reqs);
+        let before = cluster.allocated_cores();
+        prop_assert!(before > 0);
+        // Dip and recover.
+        cluster.step(power_dip, &[]);
+        let after_dip = cluster.allocated_cores();
+        prop_assert!(after_dip <= before);
+        let recovered = cluster.step(1.0, &[]);
+        // Queued VMs relaunch into the restored budget (as much as the
+        // admission cap permits).
+        prop_assert!(recovered.allocated_cores >= after_dip as u64 as u32);
+    }
+
+    #[test]
+    fn workload_and_prefill_respect_shapes(seed in 0u64..30) {
+        use vb_cluster::{Workload, WorkloadConfig};
+        let cfg = WorkloadConfig::for_cluster(4_000, 0.7);
+        let mut w = Workload::new(cfg.clone(), seed);
+        for (req, residual) in w.steady_state_population() {
+            prop_assert!(req.cores >= 1 && req.cores <= 32);
+            prop_assert!(residual >= 1 && residual <= req.lifetime_steps);
+            prop_assert!(req.lifetime_steps <= cfg.max_lifetime_steps);
+        }
+    }
+}

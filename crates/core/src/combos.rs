@@ -1,0 +1,222 @@
+//! The §2.3 combination search.
+//!
+//! "We searched for complimentary groups of sites, all in close
+//! proximity of each other (<50 ms ping latency), over 3 day intervals …
+//! even when combining just two sites, > 52 % of possible 2-site
+//! combinations improved cov by > 50 %."
+//!
+//! The sweep over all pairs is embarrassingly parallel; it is fanned out
+//! across CPU cores with `crossbeam` scoped threads.
+
+use serde::{Deserialize, Serialize};
+use vb_stats::{coefficient_of_variation, TimeSeries};
+use vb_trace::Catalog;
+
+/// cov improvement of one site pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PairImprovement {
+    /// First site name.
+    pub a: String,
+    /// Second site name.
+    pub b: String,
+    /// cov of the better (lower-cov) member alone.
+    pub best_single_cov: f64,
+    /// cov of the worse (higher-cov) member alone.
+    pub worst_single_cov: f64,
+    /// cov of the combined generation.
+    pub combined_cov: f64,
+    /// `worst_single_cov / combined_cov`: how much steadier the
+    /// combination is than the member it rescues. Figure 3a quotes this
+    /// convention — "the solar pattern in Norway when complemented with
+    /// just one additional wind site (UK wind) reduces cov by 3.7×" is
+    /// measured against the solar site.
+    pub improvement: f64,
+    /// Worst pairwise RTT, ms.
+    pub rtt_ms: f64,
+}
+
+/// Aggregate statistics of a pair sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComboStats {
+    /// Pairs examined (within the latency threshold).
+    pub pairs: usize,
+    /// Fraction of pairs whose cov improved by more than 50 %
+    /// (improvement factor > 2), the paper's headline statistic.
+    pub improved_50pct_fraction: f64,
+    /// Fraction of pairs with any improvement at all.
+    pub improved_fraction: f64,
+    /// Median improvement factor.
+    pub median_improvement: f64,
+    /// The best pair found.
+    pub best: Option<PairImprovement>,
+}
+
+/// Sweep all site pairs within `latency_threshold_ms`, measuring cov
+/// improvement over `days` days starting at `start_day` (the paper uses
+/// 3-day intervals and a 50 ms threshold).
+pub fn search_pairs(
+    catalog: &Catalog,
+    start_day: u32,
+    days: u32,
+    latency_threshold_ms: f64,
+) -> (Vec<PairImprovement>, ComboStats) {
+    let sites = catalog.sites();
+    let n = sites.len();
+
+    // Generate all traces in parallel (the expensive part).
+    let traces: Vec<TimeSeries> = parallel_map(n, |i| {
+        vb_trace::generate_in(&sites[i], start_day, days, catalog.field())
+            .scale(sites[i].capacity_mw)
+    });
+    let covs: Vec<f64> = traces
+        .iter()
+        .map(|t| coefficient_of_variation(&t.values))
+        .collect();
+
+    let mut pairs = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let rtt = sites[i].rtt_ms(&sites[j]);
+            if rtt >= latency_threshold_ms {
+                continue;
+            }
+            let combined = traces[i].add(&traces[j]);
+            let combined_cov = coefficient_of_variation(&combined.values);
+            let best_single = covs[i].min(covs[j]);
+            let worst_single = covs[i].max(covs[j]);
+            pairs.push(PairImprovement {
+                a: sites[i].name.clone(),
+                b: sites[j].name.clone(),
+                best_single_cov: best_single,
+                worst_single_cov: worst_single,
+                combined_cov,
+                improvement: if combined_cov > 0.0 {
+                    worst_single / combined_cov
+                } else {
+                    f64::INFINITY
+                },
+                rtt_ms: rtt,
+            });
+        }
+    }
+
+    let stats = summarize(&pairs);
+    (pairs, stats)
+}
+
+fn summarize(pairs: &[PairImprovement]) -> ComboStats {
+    if pairs.is_empty() {
+        return ComboStats {
+            pairs: 0,
+            improved_50pct_fraction: 0.0,
+            improved_fraction: 0.0,
+            median_improvement: 0.0,
+            best: None,
+        };
+    }
+    // "Improved cov by > 50%" = combined cov is less than half the best
+    // single cov, i.e. improvement factor > 2.
+    let improved_50 = pairs.iter().filter(|p| p.improvement > 2.0).count();
+    let improved = pairs.iter().filter(|p| p.improvement > 1.0).count();
+    let mut improvements: Vec<f64> = pairs.iter().map(|p| p.improvement).collect();
+    improvements.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let best = pairs
+        .iter()
+        .max_by(|a, b| a.improvement.partial_cmp(&b.improvement).expect("finite"))
+        .cloned();
+    ComboStats {
+        pairs: pairs.len(),
+        improved_50pct_fraction: improved_50 as f64 / pairs.len() as f64,
+        improved_fraction: improved as f64 / pairs.len() as f64,
+        median_improvement: vb_stats::percentile(&improvements, 50.0),
+        best,
+    }
+}
+
+/// Map `f` over `0..n` using one scoped thread per chunk.
+fn parallel_map<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    let chunk = n.div_ceil(threads).max(1);
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (t, slot_chunk) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (k, slot) in slot_chunk.iter_mut().enumerate() {
+                    *slot = Some(f(t * chunk + k));
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    out.into_iter().map(|s| s.expect("filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_all_in_range_pairs() {
+        let catalog = Catalog::europe(42);
+        let (pairs, stats) = search_pairs(&catalog, 120, 3, 50.0);
+        // 25 sites -> at most C(25,2) = 300 pairs; the latency threshold
+        // removes some.
+        assert!(stats.pairs == pairs.len());
+        assert!(stats.pairs > 100, "Europe is mostly within 50 ms");
+        assert!(stats.pairs <= 300);
+        for p in &pairs {
+            assert!(p.rtt_ms < 50.0);
+            assert!(p.improvement > 0.0);
+        }
+    }
+
+    #[test]
+    fn majority_of_pairs_improve() {
+        // §2.3: complementary patterns are the rule, not the exception.
+        let catalog = Catalog::europe(42);
+        let (_, stats) = search_pairs(&catalog, 120, 3, 50.0);
+        assert!(
+            stats.improved_fraction > 0.8,
+            "improved fraction {}",
+            stats.improved_fraction
+        );
+        assert!(stats.median_improvement > 1.0);
+        assert!(stats.best.is_some());
+    }
+
+    #[test]
+    fn paper_headline_band_for_50pct_improvement() {
+        // ">52% of possible 2-site combinations improved cov by >50%".
+        // Synthetic catalog: accept a generous band around it.
+        let catalog = Catalog::europe(42);
+        let (_, stats) = search_pairs(&catalog, 120, 3, 50.0);
+        assert!(
+            (0.30..0.95).contains(&stats.improved_50pct_fraction),
+            "50%-improvement fraction {}",
+            stats.improved_50pct_fraction
+        );
+    }
+
+    #[test]
+    fn empty_catalog_yields_empty_stats() {
+        let catalog = Catalog::new(1);
+        let (pairs, stats) = search_pairs(&catalog, 0, 1, 50.0);
+        assert!(pairs.is_empty());
+        assert_eq!(stats.pairs, 0);
+        assert!(stats.best.is_none());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(17, |i| i * i);
+        assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        assert!(parallel_map(0, |i| i).is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! # vb-core — the Virtual Battery
+//!
+//! The paper's primary contribution, as a library:
+//!
+//! > "Instead of using techniques that adapt the availability of power to
+//! > match the computation demand, we shift computational demand to meet
+//! > the availability of power. We call this Virtual Battery (VB)."
+//!
+//! * [`battery`] — [`battery::VirtualBattery`]: one renewable farm
+//!   coupled with an edge data center whose computation scales with the
+//!   farm's output (Figure 1's proposed architecture).
+//! * [`energy`] — the §2.3 stable/variable energy decomposition: within
+//!   a window, `min power × window length` is guaranteed and can host
+//!   stable VMs; everything above it is variable energy for degradable
+//!   VMs.
+//! * [`multivb`] — [`multivb::MultiVb`]: a group of VB sites analysed
+//!   jointly — combined generation, cov reduction, stable-energy uplift
+//!   (Figure 3).
+//! * [`combos`] — the §2.3 combination search over a site catalog
+//!   ("> 52 % of possible 2-site combinations improved cov by > 50 %"),
+//!   parallelised across CPU cores.
+//! * [`purchase`] — the grid-purchase optimizer: spend a small energy
+//!   budget on the worst gaps to convert variable energy into stable
+//!   energy at better than 1:1 ("purchasing 4 000 MWh … achieve a total
+//!   additional 12 000 MWh of stable energy").
+//! * [`economics`] — the §2.1 economic case: transmission savings,
+//!   curtailment capture, and the stable-vs-spot price split that makes
+//!   maximizing stable capacity the objective.
+//! * [`storage`] — the chemical-battery baseline the paper argues
+//!   against: how many MWh of Li-ion would match what aggregation gives
+//!   for free.
+//!
+//! The substrates live in their own crates and are re-exported here:
+//! traces ([`vb_trace`]), statistics ([`vb_stats`]), the LP/MIP solver
+//! ([`vb_solver`]), the cluster simulator ([`vb_cluster`]), the network
+//! layer ([`vb_net`]) and the co-scheduler ([`vb_sched`]).
+
+pub mod battery;
+pub mod combos;
+pub mod economics;
+pub mod energy;
+pub mod multivb;
+pub mod purchase;
+pub mod storage;
+
+pub use battery::VirtualBattery;
+pub use combos::{search_pairs, ComboStats, PairImprovement};
+pub use economics::{EconomicModel, EnergyValue};
+pub use energy::{decompose, EnergyBreakdown};
+pub use multivb::MultiVb;
+pub use purchase::{optimize_purchase, PurchasePlan};
+pub use storage::{required_capacity_for_stable_fraction, Battery};
+
+pub use vb_cluster;
+pub use vb_net;
+pub use vb_sched;
+pub use vb_solver;
+pub use vb_stats;
+pub use vb_trace;

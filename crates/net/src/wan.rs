@@ -1,0 +1,148 @@
+//! WAN capacity accounting.
+//!
+//! The paper sizes the networking problem with two back-of-envelope
+//! arguments that this module turns into code:
+//!
+//! * §3: "if the migration is to complete within 5 minutes, then a
+//!   10 terabyte spike requires ≈200 Gbps network capacity for a single
+//!   site. This is roughly 40 % of the share of WAN capacity per site,
+//!   assuming ≈100 sites (each with 1000 servers) share an aggregate WAN
+//!   link with 50 terabits/sec capacity."
+//! * §5: "migration occurs only 2-4 % of the time assuming 200 Gbps WAN
+//!   link per VB site."
+
+use serde::{Deserialize, Serialize};
+
+/// Gigabytes → gigabits.
+const GBIT_PER_GBYTE: f64 = 8.0;
+
+/// Per-site WAN model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WanModel {
+    /// Provisioned per-site WAN link capacity in Gbps (paper: 200).
+    pub site_link_gbps: f64,
+    /// Aggregate WAN capacity shared by the fleet, in Gbps
+    /// (paper: 50 Tbps = 50 000 Gbps, after B4).
+    pub aggregate_gbps: f64,
+    /// Number of sites sharing the aggregate (paper: ≈100).
+    pub n_sites: usize,
+    /// Deadline within which a migration burst must complete, seconds
+    /// (paper: 5 minutes).
+    pub migration_deadline_secs: f64,
+}
+
+impl Default for WanModel {
+    fn default() -> WanModel {
+        WanModel {
+            site_link_gbps: 200.0,
+            aggregate_gbps: 50_000.0,
+            n_sites: 100,
+            migration_deadline_secs: 300.0,
+        }
+    }
+}
+
+impl WanModel {
+    /// Fair share of the aggregate WAN per site, in Gbps.
+    pub fn per_site_share_gbps(&self) -> f64 {
+        self.aggregate_gbps / self.n_sites as f64
+    }
+
+    /// Capacity needed to move `gb` within the migration deadline, Gbps.
+    pub fn required_gbps(&self, gb: f64) -> f64 {
+        gb * GBIT_PER_GBYTE / self.migration_deadline_secs
+    }
+
+    /// The required capacity for a burst as a fraction of the per-site
+    /// share of the aggregate WAN (the paper's "roughly 40 %" figure for
+    /// a 10 TB spike).
+    pub fn share_fraction(&self, gb: f64) -> f64 {
+        self.required_gbps(gb) / self.per_site_share_gbps()
+    }
+
+    /// Seconds needed to drain `gb` over the provisioned site link.
+    pub fn drain_secs(&self, gb: f64) -> f64 {
+        if gb <= 0.0 {
+            0.0
+        } else {
+            gb * GBIT_PER_GBYTE / self.site_link_gbps
+        }
+    }
+
+    /// Fraction of wall-clock time the site link is busy migrating,
+    /// given per-interval migration volumes (GB per `interval_secs`).
+    /// This is the §5 "2-4 % of the time" statistic.
+    pub fn busy_fraction(&self, gb_per_interval: &[f64], interval_secs: f64) -> f64 {
+        if gb_per_interval.is_empty() {
+            return 0.0;
+        }
+        let busy: f64 = gb_per_interval
+            .iter()
+            .map(|&gb| self.drain_secs(gb).min(interval_secs))
+            .sum();
+        busy / (gb_per_interval.len() as f64 * interval_secs)
+    }
+
+    /// Peak link utilization over a series of per-interval volumes: the
+    /// largest fraction of the interval the link would need to run at
+    /// full rate (can exceed 1.0 when the link is overwhelmed).
+    pub fn peak_utilization(&self, gb_per_interval: &[f64], interval_secs: f64) -> f64 {
+        gb_per_interval
+            .iter()
+            .map(|&gb| self.drain_secs(gb) / interval_secs)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_numbers() {
+        let wan = WanModel::default();
+        // 10 TB in 5 minutes ≈ 267 Gbps — the paper rounds to ≈200 Gbps.
+        let gbps = wan.required_gbps(10_000.0);
+        assert!((200.0..300.0).contains(&gbps), "got {gbps}");
+        // Per-site share of 50 Tbps over 100 sites = 500 Gbps; a 10 TB
+        // spike needs ~40-55% of it (paper: "roughly 40%").
+        assert_eq!(wan.per_site_share_gbps(), 500.0);
+        let frac = wan.share_fraction(10_000.0);
+        assert!((0.35..0.6).contains(&frac), "got {frac}");
+    }
+
+    #[test]
+    fn drain_time_scales_linearly() {
+        let wan = WanModel::default();
+        assert_eq!(wan.drain_secs(0.0), 0.0);
+        // 200 Gbps moves 25 GB/s.
+        assert!((wan.drain_secs(25.0) - 1.0).abs() < 1e-9);
+        assert!((wan.drain_secs(2_500.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_fraction_counts_drain_time() {
+        let wan = WanModel::default();
+        // One 2 500 GB burst (100 s of drain) in four 900 s intervals.
+        let frac = wan.busy_fraction(&[2_500.0, 0.0, 0.0, 0.0], 900.0);
+        assert!((frac - 100.0 / 3_600.0).abs() < 1e-9);
+        assert_eq!(wan.busy_fraction(&[], 900.0), 0.0);
+    }
+
+    #[test]
+    fn busy_fraction_saturates_per_interval() {
+        let wan = WanModel::default();
+        // A burst too big to drain within its interval caps at 1 interval.
+        let huge = 1e9;
+        assert!((wan.busy_fraction(&[huge], 900.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_utilization_reports_overload() {
+        let wan = WanModel::default();
+        // 900 s at 200 Gbps = 22 500 GB per interval at full blast.
+        assert!((wan.peak_utilization(&[22_500.0], 900.0) - 1.0).abs() < 1e-9);
+        assert!(wan.peak_utilization(&[45_000.0], 900.0) > 1.9);
+        assert_eq!(wan.peak_utilization(&[], 900.0), 0.0);
+    }
+}

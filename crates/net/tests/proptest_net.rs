@@ -1,0 +1,117 @@
+//! Property tests for the site graph, clique enumeration and link model.
+
+use proptest::prelude::*;
+use vb_net::{k_cliques, maximal_cliques, LinkSimulator, SiteGraph};
+use vb_trace::Site;
+
+fn arb_sites(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Site>> {
+    proptest::collection::vec((36.0..66.0f64, -10.0..26.0f64), n).prop_map(|coords| {
+        coords
+            .into_iter()
+            .enumerate()
+            .map(|(i, (lat, lon))| {
+                if i % 2 == 0 {
+                    Site::solar(&format!("s{i}"), lat, lon)
+                } else {
+                    Site::wind(&format!("w{i}"), lat, lon)
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn adjacency_is_symmetric_and_irreflexive(sites in arb_sites(2..12), thr in 5.0..60.0f64) {
+        let g = SiteGraph::build(sites, thr);
+        for i in 0..g.len() {
+            prop_assert!(!g.is_edge(i, i));
+            for j in 0..g.len() {
+                prop_assert_eq!(g.is_edge(i, j), g.is_edge(j, i));
+                if g.is_edge(i, j) {
+                    prop_assert!(g.rtt_ms(i, j) < thr);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_k_clique_is_a_clique_and_unique(sites in arb_sites(3..12), k in 2usize..5) {
+        let g = SiteGraph::build(sites, 40.0);
+        let cliques = k_cliques(&g, k);
+        let mut seen = std::collections::HashSet::new();
+        for c in &cliques {
+            prop_assert_eq!(c.len(), k);
+            prop_assert!(g.is_clique(c));
+            prop_assert!(c.windows(2).all(|w| w[0] < w[1]), "sorted");
+            prop_assert!(seen.insert(c.clone()), "duplicate clique {c:?}");
+        }
+    }
+
+    #[test]
+    fn clique_counts_are_consistent_across_k(sites in arb_sites(4..10)) {
+        // Every (k+1)-clique contains k+1 distinct k-cliques, so the
+        // count can't jump from zero.
+        let g = SiteGraph::build(sites, 40.0);
+        for k in 2..4 {
+            let small = k_cliques(&g, k).len();
+            let big = k_cliques(&g, k + 1).len();
+            if big > 0 {
+                prop_assert!(small > 0, "a {}-clique implies {}-cliques", k + 1, k);
+            }
+        }
+    }
+
+    #[test]
+    fn maximal_cliques_cover_every_vertex(sites in arb_sites(2..10)) {
+        let g = SiteGraph::build(sites, 40.0);
+        let cliques = maximal_cliques(&g);
+        let mut covered = vec![false; g.len()];
+        for c in &cliques {
+            prop_assert!(g.is_clique(c));
+            for &v in c {
+                covered[v] = true;
+            }
+            // Maximality: no vertex outside extends the clique.
+            for v in 0..g.len() {
+                if !c.contains(&v) {
+                    let extends = c.iter().all(|&u| g.is_edge(u, v));
+                    prop_assert!(!extends, "clique {c:?} extendable by {v}");
+                }
+            }
+        }
+        prop_assert!(covered.iter().all(|&b| b), "isolated vertices are maximal 1-cliques");
+    }
+
+    #[test]
+    fn diameter_bounds_member_rtts(sites in arb_sites(3..10)) {
+        let g = SiteGraph::build(sites, 45.0);
+        for c in k_cliques(&g, 3) {
+            let d = g.diameter_ms(&c);
+            for (a, &i) in c.iter().enumerate() {
+                for &j in &c[a + 1..] {
+                    prop_assert!(g.rtt_ms(i, j) <= d + 1e-9);
+                }
+            }
+            prop_assert!(d < 45.0);
+        }
+    }
+
+    #[test]
+    fn link_drains_everything_eventually(
+        bursts in proptest::collection::vec(0.0..30_000.0f64, 1..30),
+        gbps in 50.0..400.0f64,
+    ) {
+        let mut link = LinkSimulator::new(gbps, 900.0);
+        link.run(&bursts);
+        // Idle long enough: backlog must reach zero.
+        let total: f64 = bursts.iter().sum();
+        let intervals_needed = (total / link.capacity_gb()).ceil() as usize + 1;
+        for _ in 0..intervals_needed {
+            link.step(0.0);
+        }
+        prop_assert!(link.backlog_gb() < 1e-6, "backlog {}", link.backlog_gb());
+    }
+}

@@ -1,0 +1,576 @@
+//! The MIP site-selection policies of §3.1.
+//!
+//! At each planning epoch the policy builds a mixed-integer program over
+//! the look-ahead horizon:
+//!
+//! * **Decision variables** — a binary `x[a][s]` per (application, site)
+//!   pair, for both the newly arrived apps and the movable existing
+//!   apps (each app goes to exactly one site).
+//! * **Displacement model** — per site `s` and look-ahead bucket `b`,
+//!   `d[s][b] ≥ load[s][b] − capacity[s][b]` with `d ≥ 0` captures how
+//!   many committed cores the forecast power cannot host. Because every
+//!   objective term is non-decreasing in `d`, the optimum pins
+//!   `d = max(0, load − capacity)` exactly.
+//! * **O1 (total)** — `min Σ d · gb_per_core + Σ move_cost`: displaced
+//!   capacity, converted to bytes via the memory density, plus the full
+//!   memory of any existing app the plan relocates preemptively.
+//!   Displaced cores are what *force* migrations at run time, so this is
+//!   a convex surrogate of the paper's "total migration bytes": the
+//!   byte-exact objective (positive increments of the displacement
+//!   process) is not LP-representable without per-bucket binaries — a
+//!   planner could "pre-pay" displacement to game any LP relaxation of
+//!   it — and the simulation, not the planner, is what measures real
+//!   bytes for Table 1.
+//! * **O2 (peak)** — an auxiliary `z ≥ d[s][b] · gb_per_core` over all
+//!   sites and buckets; adding `λ·z` to the objective implements the
+//!   paper's second-order peak goal ("MIP-peak"): avoid concentrating
+//!   displacement in any single site-interval, spreading forced
+//!   migrations across sites and time.
+//!
+//! The three Table 1 variants are configurations of this one model:
+//!
+//! | Variant  | Horizon        | Peak term |
+//! |----------|----------------|-----------|
+//! | MIP      | entire period  | no        |
+//! | MIP-24h  | next 24 hours  | no        |
+//! | MIP-peak | entire period  | yes       |
+//!
+//! The solve is exact (branch & bound over the `vb-solver` simplex);
+//! if the solver ever fails (iteration safety valve), the epoch falls
+//! back to greedy placement, so a simulation always completes.
+
+use crate::greedy::GreedyPolicy;
+use crate::policy::{Assignment, PlanContext, Policy, SiteSnapshot};
+use serde::{Deserialize, Serialize};
+use vb_solver::{LinExpr, Model, Sense, SolveError, VarId};
+
+/// MIP policy configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MipConfig {
+    /// Look-ahead horizon in 15-minute steps (e.g. 672 = 7 days for
+    /// "MIP", 96 = 24 h for "MIP-24h"). The effective horizon is capped
+    /// by the forecast vectors the context carries.
+    pub horizon_steps: u32,
+    /// Include the O2 peak objective ("MIP-peak").
+    pub minimize_peak: bool,
+    /// Weight λ of the peak term relative to total bytes. The paper
+    /// treats O2 as second-order; a moderate weight implements that
+    /// priority ordering.
+    pub peak_weight: f64,
+    /// GB of migration traffic per displaced core (≈ VM memory per
+    /// core; 4 GB for the default workload).
+    pub gb_per_core: f64,
+    /// Multiplier on the preemptive-move cost relative to the app's
+    /// memory. The displacement surrogate charges a doomed placement in
+    /// every bucket it remains displaced, while a runtime eviction costs
+    /// the memory only once — a factor > 1 compensates, so plain-O1
+    /// variants move only when the forecast deficit is deep and long,
+    /// while MIP-peak (whose peak term values spreading) moves earlier.
+    pub move_cost_factor: f64,
+    /// Weight of the load-balance term: the §3.1 objective "balancing
+    /// load between subgraphs/sites", implemented as a penalty on the
+    /// worst forecast utilization across sites over the near-term
+    /// buckets. Balances placements that the displacement objective
+    /// leaves tied, keeping headroom against forecast error everywhere.
+    pub balance_weight: f64,
+    /// Branch & bound node budget per epoch (anytime solve).
+    pub max_nodes: usize,
+    /// Display name (Table 1 row label).
+    pub name: String,
+}
+
+impl MipConfig {
+    /// The "MIP" variant: O1 only, whole-period look-ahead.
+    pub fn mip() -> MipConfig {
+        MipConfig {
+            horizon_steps: 7 * 96,
+            minimize_peak: false,
+            peak_weight: 0.0,
+            gb_per_core: 4.0,
+            move_cost_factor: 6.0,
+            balance_weight: 4.0,
+            max_nodes: 400,
+            name: "MIP".into(),
+        }
+    }
+
+    /// The "MIP-24h" variant: O1 only, next-day look-ahead.
+    pub fn mip_24h() -> MipConfig {
+        MipConfig {
+            horizon_steps: 96,
+            minimize_peak: false,
+            peak_weight: 0.0,
+            gb_per_core: 4.0,
+            move_cost_factor: 6.0,
+            balance_weight: 4.0,
+            max_nodes: 400,
+            name: "MIP-24h".into(),
+        }
+    }
+
+    /// The "MIP-peak" variant: O1 + O2, whole-period look-ahead.
+    pub fn mip_peak() -> MipConfig {
+        MipConfig {
+            horizon_steps: 7 * 96,
+            minimize_peak: true,
+            peak_weight: 24.0,
+            gb_per_core: 4.0,
+            move_cost_factor: 2.5,
+            balance_weight: 4.0,
+            max_nodes: 400,
+            name: "MIP-peak".into(),
+        }
+    }
+}
+
+/// The MIP policy (all three paper variants).
+#[derive(Debug, Clone)]
+pub struct MipPolicy {
+    cfg: MipConfig,
+    fallback: GreedyPolicy,
+    /// Epochs where the exact solve failed and greedy stepped in.
+    fallbacks_used: usize,
+}
+
+impl MipPolicy {
+    /// Create a policy from a variant configuration.
+    pub fn new(cfg: MipConfig) -> MipPolicy {
+        MipPolicy {
+            cfg,
+            fallback: GreedyPolicy::new(),
+            fallbacks_used: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MipConfig {
+        &self.cfg
+    }
+
+    /// How many epochs fell back to greedy (0 in healthy runs).
+    pub fn fallbacks_used(&self) -> usize {
+        self.fallbacks_used
+    }
+
+    fn solve(&self, ctx: &PlanContext) -> Result<Vec<Assignment>, SolveError> {
+        let n_sites = ctx.sites.len();
+        let buckets = ctx
+            .horizon_buckets()
+            .min((self.cfg.horizon_steps / ctx.bucket_steps.max(1)) as usize)
+            .max(1);
+        let gbpc = self.cfg.gb_per_core;
+
+        let mut m = Model::new(Sense::Minimize);
+
+        // Placement binaries for new apps and movable apps.
+        let x_new: Vec<Vec<VarId>> = ctx
+            .new_apps
+            .iter()
+            .map(|a| {
+                (0..n_sites)
+                    .map(|s| m.bin_var(&format!("new{}s{s}", a.id.0)))
+                    .collect()
+            })
+            .collect();
+        let x_mov: Vec<Vec<VarId>> = ctx
+            .movable
+            .iter()
+            .map(|a| {
+                (0..n_sites)
+                    .map(|s| m.bin_var(&format!("mov{}s{s}", a.id.0)))
+                    .collect()
+            })
+            .collect();
+
+        // Each app at exactly one site.
+        for row in x_new.iter().chain(&x_mov) {
+            let e = LinExpr {
+                terms: row.iter().map(|&v| (v, 1.0)).collect(),
+                constant: 0.0,
+            };
+            m.add_eq(e, 1.0);
+        }
+
+        let mut objective = LinExpr::zero();
+
+        // Preemptive-move cost: moving app a away from its current site
+        // costs its full memory. mem · (1 − x[a][current]) expands to
+        // constant mem with coefficient −mem on the stay-home binary.
+        for (a, app) in ctx.movable.iter().enumerate() {
+            let cost = app.mem_gb * self.cfg.move_cost_factor;
+            objective = objective
+                .add_const(cost)
+                .add_term(x_mov[a][app.current_site], -cost);
+        }
+
+        // Displacement variables per (site, bucket). Every objective
+        // term is non-decreasing in d, so the optimum pins
+        // d = max(0, load − capacity) exactly.
+        let inf = f64::INFINITY;
+        let peak_z = self.cfg.minimize_peak.then(|| m.var("peak", 0.0, inf));
+        for (s, site) in ctx.sites.iter().enumerate() {
+            for b in 0..buckets {
+                let d = m.var(&format!("d_s{s}b{b}"), 0.0, inf);
+
+                // d ≥ load − capacity. load = committed + Σ cores·x.
+                // Rearranged: d − Σ cores·x ≥ committed − capacity.
+                let mut lhs = LinExpr::term(d, 1.0);
+                for (a, app) in ctx.new_apps.iter().enumerate() {
+                    if alive(app.spec.lifetime_steps, ctx.bucket_steps, b) {
+                        lhs = lhs.add_term(x_new[a][s], -(app.spec.cores() as f64));
+                    }
+                }
+                for (a, app) in ctx.movable.iter().enumerate() {
+                    if alive(app.remaining_steps, ctx.bucket_steps, b) {
+                        lhs = lhs.add_term(x_mov[a][s], -(app.cores as f64));
+                    }
+                }
+                let committed = site.committed_cores.get(b).copied().unwrap_or(0.0);
+                let capacity = site.capacity_forecast_cores.get(b).copied().unwrap_or(0.0);
+                m.add_ge(lhs, committed - capacity);
+
+                objective = objective.add_term(d, gbpc);
+                if let Some(z) = peak_z {
+                    // z ≥ d·gbpc  →  d·gbpc − z ≤ 0.
+                    let row = LinExpr::term(d, gbpc).add_term(z, -1.0);
+                    m.add_le(row, 0.0);
+                }
+            }
+        }
+        if let Some(z) = peak_z {
+            objective = objective.add_term(z, self.cfg.peak_weight);
+        }
+
+        // Load balancing (§3.1 goal 2): penalise the worst forecast
+        // utilization across sites over the near-term buckets. The
+        // weight is expressed in "GB per site's worth of utilization":
+        // balance_weight = 1 means running one site at 100 % while
+        // others idle costs as much as displacing ~1/4 of a site-bucket.
+        if self.cfg.balance_weight > 0.0 {
+            let z_util = m.var("util", 0.0, inf);
+            let near_buckets = buckets.min(8);
+            for (s, site) in ctx.sites.iter().enumerate() {
+                // Balance against the *running minimum* capacity: a site
+                // whose power is about to collapse offers no balancing
+                // room now, however sunny or windy it currently is.
+                let mut running_min = f64::INFINITY;
+                for b in 0..near_buckets {
+                    running_min = running_min
+                        .min(site.capacity_forecast_cores.get(b).copied().unwrap_or(0.0));
+                    let cap = running_min;
+                    if cap < 0.05 * site.total_cores as f64 {
+                        continue; // dead-site buckets: displacement term rules
+                    }
+                    // z ≥ load / cap  →  (committed + Σ cores·x)/cap − z ≤ 0.
+                    let mut row = LinExpr::term(z_util, -1.0);
+                    for (a, app) in ctx.new_apps.iter().enumerate() {
+                        if alive(app.spec.lifetime_steps, ctx.bucket_steps, b) {
+                            row = row.add_term(x_new[a][s], app.spec.cores() as f64 / cap);
+                        }
+                    }
+                    for (a, app) in ctx.movable.iter().enumerate() {
+                        if alive(app.remaining_steps, ctx.bucket_steps, b) {
+                            row = row.add_term(x_mov[a][s], app.cores as f64 / cap);
+                        }
+                    }
+                    let committed = site.committed_cores.get(b).copied().unwrap_or(0.0);
+                    m.add_le(row, -(committed / cap));
+                }
+            }
+            let site_scale = ctx
+                .sites
+                .iter()
+                .map(|s| s.total_cores as f64)
+                .fold(0.0, f64::max);
+            objective =
+                objective.add_term(z_util, self.cfg.balance_weight * gbpc * site_scale * 0.25);
+        }
+
+        m.set_objective(objective);
+        // Anytime solve: epochs arrive every 3 simulated hours; a node
+        // budget keeps planning latency bounded while the root dive
+        // guarantees a good incumbent.
+        let sol = m.solve_bounded(self.cfg.max_nodes)?;
+
+        // Read the chosen site per app.
+        let mut out = Vec::new();
+        for (a, app) in ctx.new_apps.iter().enumerate() {
+            let site = (0..n_sites)
+                .max_by(|&i, &j| {
+                    sol.value(x_new[a][i])
+                        .partial_cmp(&sol.value(x_new[a][j]))
+                        .expect("finite")
+                })
+                .expect("sites non-empty");
+            out.push(Assignment { app: app.id, site });
+        }
+        for (a, app) in ctx.movable.iter().enumerate() {
+            let site = (0..n_sites)
+                .max_by(|&i, &j| {
+                    sol.value(x_mov[a][i])
+                        .partial_cmp(&sol.value(x_mov[a][j]))
+                        .expect("finite")
+                })
+                .expect("sites non-empty");
+            if site != app.current_site {
+                out.push(Assignment { app: app.id, site });
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Is an app with `remaining` steps of lifetime still alive in bucket
+/// `b` (buckets of `bucket_steps`)? Uses the bucket's start instant.
+fn alive(remaining: u32, bucket_steps: u32, b: usize) -> bool {
+    remaining as u64 > b as u64 * bucket_steps as u64
+}
+
+impl Policy for MipPolicy {
+    fn name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    fn preemptive_drain(&self) -> bool {
+        self.cfg.minimize_peak
+    }
+
+    /// Forecast-aware re-hosting: among sites that can admit the app
+    /// now, prefer the one whose *worst* day-ahead admissible capacity
+    /// leaves the most room — avoiding homes that are about to dip.
+    fn choose_rehost(&mut self, sites: &[SiteSnapshot], cores: u32) -> Option<usize> {
+        sites
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.headroom() >= cores)
+            .max_by(|(_, a), (_, b)| {
+                let score = |s: &SiteSnapshot| s.forecast_min_24h_cores - s.allocated_cores as f64;
+                score(a).partial_cmp(&score(b)).expect("finite")
+            })
+            .map(|(i, _)| i)
+    }
+
+    fn plan(&mut self, ctx: &PlanContext) -> Vec<Assignment> {
+        if ctx.new_apps.is_empty() && ctx.movable.is_empty() {
+            return Vec::new();
+        }
+        if ctx.sites.len() < 2 {
+            // Single site: nothing to decide.
+            return ctx
+                .new_apps
+                .iter()
+                .map(|a| Assignment { app: a.id, site: 0 })
+                .collect();
+        }
+        match self.solve(ctx) {
+            Ok(plan) => plan,
+            Err(_) => {
+                self.fallbacks_used += 1;
+                self.fallback.plan(ctx)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::AppSpec;
+    use crate::policy::{AppId, MovableApp, NewApp, SitePlanInfo};
+    use vb_cluster::VmKind;
+
+    fn site(name: &str, capacity: Vec<f64>, committed: Vec<f64>) -> SitePlanInfo {
+        SitePlanInfo {
+            name: name.into(),
+            total_cores: 1_000,
+            current_budget_cores: capacity[0] as u32,
+            allocated_cores: committed[0] as u32,
+            capacity_forecast_cores: capacity,
+            committed_cores: committed,
+        }
+    }
+
+    fn new_app(id: usize, n_vms: u32, lifetime: u32) -> NewApp {
+        NewApp {
+            id: AppId(id),
+            spec: AppSpec {
+                n_vms,
+                cores_per_vm: 4,
+                mem_per_vm_gb: 16.0,
+                kind: VmKind::Stable,
+                lifetime_steps: lifetime,
+            },
+        }
+    }
+
+    #[test]
+    fn avoids_the_site_whose_power_will_collapse() {
+        // Site 0 has more power *now* but collapses in bucket 2; site 1
+        // is steady. Greedy would pick site 0; the MIP must not.
+        let ctx = PlanContext {
+            now: 0,
+            bucket_steps: 12,
+            sites: vec![
+                site("collapsing", vec![800.0, 800.0, 0.0, 0.0], vec![0.0; 4]),
+                site("steady", vec![500.0, 500.0, 500.0, 500.0], vec![0.0; 4]),
+            ],
+            new_apps: vec![new_app(0, 25, 48)], // 100 cores, alive all 4 buckets
+            movable: vec![],
+        };
+        let plan = MipPolicy::new(MipConfig::mip()).plan(&ctx);
+        assert_eq!(
+            plan,
+            vec![Assignment {
+                app: AppId(0),
+                site: 1
+            }]
+        );
+        // And greedy indeed falls for it.
+        let gplan = GreedyPolicy::new().plan(&ctx);
+        assert_eq!(gplan[0].site, 0);
+    }
+
+    #[test]
+    fn short_app_can_use_the_collapsing_site() {
+        // The same collapse, but the app finishes before it: the MIP can
+        // place it anywhere cost-free; both placements have zero
+        // predicted overhead, so just assert feasibility and zero cost.
+        let ctx = PlanContext {
+            now: 0,
+            bucket_steps: 12,
+            sites: vec![
+                site("collapsing", vec![800.0, 800.0, 0.0, 0.0], vec![0.0; 4]),
+                site("steady", vec![500.0; 4], vec![0.0; 4]),
+            ],
+            new_apps: vec![new_app(0, 25, 12)], // one bucket of life
+            movable: vec![],
+        };
+        let plan = MipPolicy::new(MipConfig::mip()).plan(&ctx);
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn balances_apps_across_sites_when_capacity_binds() {
+        // Two steady sites of 300 cores each; two 200-core apps. Placing
+        // both on one site displaces 100 cores; splitting avoids it.
+        let ctx = PlanContext {
+            now: 0,
+            bucket_steps: 12,
+            sites: vec![
+                site("a", vec![300.0; 4], vec![0.0; 4]),
+                site("b", vec![300.0; 4], vec![0.0; 4]),
+            ],
+            new_apps: vec![new_app(0, 50, 48), new_app(1, 50, 48)],
+            movable: vec![],
+        };
+        let plan = MipPolicy::new(MipConfig::mip()).plan(&ctx);
+        assert_ne!(plan[0].site, plan[1].site, "apps must split");
+    }
+
+    #[test]
+    fn moves_an_existing_app_off_a_doomed_site_when_cheaper() {
+        // A movable app (200 cores / 800 GB) sits on a site whose
+        // forecast drops to zero. Staying costs ~500 displaced
+        // core-buckets (2 000 GB of surrogate) — moving costs its 800 GB
+        // memory once and zero displacement. The plan must move it.
+        let ctx = PlanContext {
+            now: 0,
+            bucket_steps: 12,
+            sites: vec![
+                site("doomed", vec![500.0, 100.0, 0.0, 0.0], vec![0.0; 4]),
+                site("ok", vec![500.0; 4], vec![0.0; 4]),
+            ],
+            new_apps: vec![],
+            movable: vec![MovableApp {
+                id: AppId(7),
+                current_site: 0,
+                cores: 200,
+                mem_gb: 800.0,
+                remaining_steps: 48,
+            }],
+        };
+        let mut pol = MipPolicy::new(MipConfig::mip_peak());
+        let plan = pol.plan(&ctx);
+        assert_eq!(
+            plan,
+            vec![Assignment {
+                app: AppId(7),
+                site: 1
+            }]
+        );
+        assert_eq!(pol.fallbacks_used(), 0);
+    }
+
+    #[test]
+    fn peak_variant_prefers_shallow_displacement() {
+        // One 120-core app. Site "deep" hosts it fine for 3 buckets then
+        // displaces all of it at once; site "shallow" displaces 30 cores
+        // in every bucket. Total displacement ties at 120 core-buckets,
+        // so O1 alone is indifferent — the O2 peak term must pick the
+        // shallow profile (30 ≪ 120 peak).
+        let ctx = PlanContext {
+            now: 0,
+            bucket_steps: 12,
+            sites: vec![
+                site("deep", vec![300.0, 300.0, 300.0, 0.0], vec![0.0; 4]),
+                site("shallow", vec![90.0, 90.0, 90.0, 90.0], vec![0.0; 4]),
+            ],
+            new_apps: vec![new_app(0, 30, 48)], // 120 cores
+            movable: vec![],
+        };
+        let peak_plan = MipPolicy::new(MipConfig::mip_peak()).plan(&ctx);
+        assert_eq!(peak_plan[0].site, 1, "O2 prefers the shallow profile");
+    }
+
+    #[test]
+    fn every_new_app_is_assigned_exactly_once() {
+        let ctx = PlanContext {
+            now: 0,
+            bucket_steps: 12,
+            sites: vec![
+                site("a", vec![400.0; 8], vec![100.0; 8]),
+                site("b", vec![300.0; 8], vec![50.0; 8]),
+                site("c", vec![200.0; 8], vec![0.0; 8]),
+            ],
+            new_apps: (0..5).map(|i| new_app(i, 10 + i as u32 * 5, 96)).collect(),
+            movable: vec![],
+        };
+        for cfg in [
+            MipConfig::mip(),
+            MipConfig::mip_24h(),
+            MipConfig::mip_peak(),
+        ] {
+            let plan = MipPolicy::new(cfg).plan(&ctx);
+            let mut ids: Vec<usize> = plan.iter().map(|a| a.app.0).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+            assert!(plan.iter().all(|a| a.site < 3));
+        }
+    }
+
+    #[test]
+    fn empty_epoch_is_a_no_op() {
+        let ctx = PlanContext {
+            now: 0,
+            bucket_steps: 12,
+            sites: vec![site("a", vec![100.0; 2], vec![0.0; 2])],
+            new_apps: vec![],
+            movable: vec![],
+        };
+        assert!(MipPolicy::new(MipConfig::mip()).plan(&ctx).is_empty());
+    }
+
+    #[test]
+    fn variant_names_match_table_1() {
+        assert_eq!(MipPolicy::new(MipConfig::mip()).name(), "MIP");
+        assert_eq!(MipPolicy::new(MipConfig::mip_24h()).name(), "MIP-24h");
+        assert_eq!(MipPolicy::new(MipConfig::mip_peak()).name(), "MIP-peak");
+    }
+
+    #[test]
+    fn alive_uses_bucket_start() {
+        assert!(alive(1, 12, 0));
+        assert!(!alive(12, 12, 1));
+        assert!(alive(13, 12, 1));
+    }
+}

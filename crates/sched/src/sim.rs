@@ -1,0 +1,979 @@
+//! Multi-site group simulation (the Table 1 / Fig 7 experiment).
+//!
+//! Runs a multi-VB group — the sites of one selected clique — over a
+//! power-trace period at 15-minute resolution. Applications arrive and
+//! are placed by a [`Policy`] at fixed planning epochs; between epochs
+//! the *runtime* reacts to actual power:
+//!
+//! * A site whose power drops below its committed cores first hibernates
+//!   degradable applications in place (no WAN traffic), then evicts
+//!   stable applications.
+//! * Evicted stable applications are re-placed on sibling sites with
+//!   available power — each such move is WAN traffic equal to the app's
+//!   memory (§3's migration-overhead accounting). With no room anywhere
+//!   the app waits in a group-wide queue (an availability violation,
+//!   which multi-VB is designed to make rare).
+//! * When power returns, hibernated apps resume free of charge and
+//!   queued apps relaunch — the relaunch transfer counts as migration
+//!   traffic, mirroring the paper's "consider these as VMs migrated
+//!   into the site".
+//!
+//! All four Table 1 policies run against identical arrival sequences and
+//! power traces (same seeds), so differences are purely placement
+//! quality.
+
+use crate::app::{AppGen, AppGenConfig, AppSpec};
+use crate::policy::{AppId, MovableApp, NewApp, PlanContext, Policy, SitePlanInfo, SiteSnapshot};
+use serde::{Deserialize, Serialize};
+use vb_cluster::VmKind;
+use vb_stats::{Cdf, Summary, TimeSeries};
+use vb_trace::{forecast_for, generate_in, Catalog, Horizon, Site};
+
+/// Configuration of a group simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupSimConfig {
+    /// Cores per site (paper: ≈700 servers × 40 cores).
+    pub cores_per_site: u32,
+    /// Admission headroom: a site accepts apps up to this fraction of
+    /// its powered cores (paper: 0.7).
+    pub target_util: f64,
+    /// Planning cadence in steps (default 12 = 3 h).
+    pub epoch_steps: u32,
+    /// Forecast bucket width in steps for the policy's look-ahead.
+    pub bucket_steps: u32,
+    /// First day-of-year of the simulated period.
+    pub start_day: u32,
+    /// Length of the simulated period in days (paper: 7).
+    pub days: u32,
+    /// Application workload; when `None`, sized to fill ~70 % of the
+    /// group's mean available power.
+    pub app_cfg: Option<AppGenConfig>,
+    /// Cap on preemptive-move candidates offered to the policy per
+    /// epoch (keeps the MIP small).
+    pub max_movable: usize,
+    /// Planned preemptive moves execute at most this many per step,
+    /// spreading them over the epoch instead of bursting at the
+    /// planning instant (the paper's MIP-peak "spreading out migrations
+    /// over time").
+    pub moves_per_step: usize,
+    /// Optional subgraph structure (Fig 6 step 2): site-index groups an
+    /// application must stay inside once placed. Initial placement picks
+    /// the subgraph implicitly (by picking a site); re-hosting, queued
+    /// relaunch and preemptive drains are then restricted to that
+    /// subgraph — the paper's latency constraint on splitting/moving
+    /// apps. `None` treats all sites as one group.
+    pub subgraphs: Option<Vec<Vec<usize>>>,
+    /// Seed for workload generation.
+    pub seed: u64,
+}
+
+impl Default for GroupSimConfig {
+    fn default() -> GroupSimConfig {
+        GroupSimConfig {
+            cores_per_site: 700 * 40,
+            target_util: 0.7,
+            epoch_steps: 12,
+            bucket_steps: 12,
+            start_day: 120,
+            days: 7,
+            app_cfg: None,
+            max_movable: 0,
+            moves_per_step: 2,
+            subgraphs: None,
+            seed: 42,
+        }
+    }
+}
+
+/// Per-step group telemetry.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroupStepStats {
+    /// Step index (15-minute intervals since simulation start).
+    pub step: u64,
+    /// WAN transfer volume this step (evictions re-placed + relaunches +
+    /// preemptive moves), GB.
+    pub transfer_gb: f64,
+    /// Portion of `transfer_gb` from forced eviction re-hosting.
+    pub rehost_gb: f64,
+    /// Portion of `transfer_gb` from queued-app relaunches.
+    pub relaunch_gb: f64,
+    /// Portion of `transfer_gb` from policy-ordered preemptive moves.
+    pub move_gb: f64,
+    /// Number of application transfers this step.
+    pub transfers: usize,
+    /// Memory evicted with nowhere to go (queued), GB.
+    pub stranded_gb: f64,
+    /// Stable apps waiting in the group queue after this step.
+    pub queued_apps: usize,
+    /// Degradable apps hibernated across the group after this step.
+    pub hibernated_apps: usize,
+    /// Group-wide committed cores after this step.
+    pub allocated_cores: u64,
+    /// Group-wide powered cores this step.
+    pub budget_cores: u64,
+}
+
+/// Aggregate result of one policy run — one Table 1 row plus the Fig 7
+/// CDF series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicySummary {
+    /// Policy name (Table 1 row label).
+    pub policy: String,
+    /// Total migration volume over the run, GB.
+    pub total_gb: f64,
+    /// 99th percentile of per-step migration volume (all steps), GB.
+    pub p99_gb: f64,
+    /// Largest per-step migration volume, GB.
+    pub peak_gb: f64,
+    /// Standard deviation of per-step volume, GB.
+    pub std_gb: f64,
+    /// Fraction of steps with zero migration (Fig 7's "zero values").
+    pub zero_fraction: f64,
+    /// Per-step volumes (for CDFs and plots).
+    pub per_step_gb: Vec<f64>,
+    /// Step-summed app-waiting time: Σ over steps of queued stable apps.
+    pub unavailable_app_steps: u64,
+    /// Preemptive moves the policy ordered.
+    pub preemptive_moves: usize,
+    /// Apps that expired while queued (never re-hosted).
+    pub dropped_apps: usize,
+}
+
+impl PolicySummary {
+    fn from_steps(
+        policy: &str,
+        steps: &[GroupStepStats],
+        moves: usize,
+        dropped: usize,
+    ) -> PolicySummary {
+        let per_step: Vec<f64> = steps.iter().map(|s| s.transfer_gb).collect();
+        let summary = Summary::of(&per_step);
+        let zero_fraction = Cdf::of_nonzero(&per_step).zero_fraction();
+        PolicySummary {
+            policy: policy.to_string(),
+            total_gb: summary.total,
+            p99_gb: summary.p99,
+            peak_gb: summary.max,
+            std_gb: summary.std,
+            zero_fraction,
+            per_step_gb: per_step,
+            unavailable_app_steps: steps.iter().map(|s| s.queued_apps as u64).sum(),
+            preemptive_moves: moves,
+            dropped_apps: dropped,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct AppState {
+    spec: AppSpec,
+    /// Current site, or `None` while queued.
+    site: Option<usize>,
+    /// Last site the app ran at (anchors its subgraph while queued).
+    last_site: usize,
+    hibernated: bool,
+    departs_at: u64,
+}
+
+#[derive(Debug, Clone)]
+struct SiteState {
+    site: Site,
+    /// Actual normalized power over the run.
+    actual: TimeSeries,
+    /// Forecast products, degraded per horizon (3 h / day / week).
+    f3: TimeSeries,
+    fd: TimeSeries,
+    fw: TimeSeries,
+    /// Apps resident here (running or hibernated).
+    apps: Vec<AppId>,
+    /// Running committed cores (stable + degradable, not hibernated).
+    allocated_cores: u32,
+    budget_cores: u32,
+}
+
+/// Per-step telemetry plus the run summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetailedRun {
+    /// Per-step group telemetry.
+    pub steps: Vec<GroupStepStats>,
+    /// The run's Table-1-style summary.
+    pub summary: PolicySummary,
+}
+
+/// The multi-VB group simulator.
+pub struct GroupSim {
+    cfg: GroupSimConfig,
+    sites: Vec<SiteState>,
+    apps: Vec<AppState>,
+    /// Evicted stable apps waiting for capacity anywhere.
+    queue: Vec<AppId>,
+    gen: AppGen,
+    now: u64,
+    n_steps: u64,
+    preemptive_moves: usize,
+    dropped_apps: usize,
+    /// Last preemptive-move step per app, for the anti-thrash cooldown.
+    moved_at: std::collections::HashMap<AppId, u64>,
+    /// Planned preemptive moves awaiting execution (app, target site).
+    pending_moves: std::collections::VecDeque<(AppId, usize)>,
+}
+
+impl GroupSim {
+    /// Build a group over the given catalog sites.
+    ///
+    /// # Panics
+    /// Panics if `site_names` is empty or names an unknown site.
+    pub fn new(catalog: &Catalog, site_names: &[&str], cfg: GroupSimConfig) -> GroupSim {
+        assert!(!site_names.is_empty(), "need at least one site");
+        let field = catalog.field();
+        let sites: Vec<SiteState> = site_names
+            .iter()
+            .map(|name| {
+                let site = catalog
+                    .get(name)
+                    .unwrap_or_else(|| panic!("unknown site {name}"))
+                    .clone();
+                let actual = generate_in(&site, cfg.start_day, cfg.days, field);
+                let f3 = forecast_for(&actual, &site, Horizon::Hours3, field);
+                let fd = forecast_for(&actual, &site, Horizon::DayAhead, field);
+                let fw = forecast_for(&actual, &site, Horizon::WeekAhead, field);
+                SiteState {
+                    site,
+                    actual,
+                    f3,
+                    fd,
+                    fw,
+                    apps: Vec::new(),
+                    allocated_cores: 0,
+                    budget_cores: cfg.cores_per_site,
+                }
+            })
+            .collect();
+
+        let n_steps = (cfg.days as u64) * 96;
+        let app_cfg = cfg.app_cfg.clone().unwrap_or_else(|| {
+            // Size demand to ~70% of the group's mean available power.
+            let mean_power: f64 = sites
+                .iter()
+                .map(|s| vb_stats::mean(&s.actual.values))
+                .sum::<f64>()
+                / sites.len() as f64;
+            let target =
+                cfg.cores_per_site as f64 * sites.len() as f64 * mean_power * cfg.target_util;
+            AppGenConfig::sized_for(target)
+        });
+        let gen = AppGen::new(app_cfg, cfg.seed);
+        GroupSim {
+            cfg,
+            sites,
+            apps: Vec::new(),
+            queue: Vec::new(),
+            gen,
+            now: 0,
+            n_steps,
+            preemptive_moves: 0,
+            dropped_apps: 0,
+            moved_at: std::collections::HashMap::new(),
+            pending_moves: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Total steps the run covers.
+    pub fn n_steps(&self) -> u64 {
+        self.n_steps
+    }
+
+    /// Run a policy over the whole period and summarise.
+    pub fn run(self, policy: &mut dyn Policy) -> PolicySummary {
+        self.run_detailed(policy).summary
+    }
+
+    /// Run a policy and keep the full per-step telemetry alongside the
+    /// summary (used by the figure benches and diagnostics).
+    pub fn run_detailed(mut self, policy: &mut dyn Policy) -> DetailedRun {
+        let mut steps = Vec::with_capacity(self.n_steps as usize);
+        let mut epoch_arrivals: Vec<AppSpec> = Vec::new();
+        for step in 0..self.n_steps {
+            self.now = step;
+            let mut stats = GroupStepStats {
+                step,
+                ..GroupStepStats::default()
+            };
+
+            // 1. Expirations.
+            self.expire();
+
+            // 2. Actual power → budgets; hibernate/evict as needed.
+            let evicted = self.apply_power(step);
+
+            // 3. Re-place evicted apps on sibling sites (within their
+            // subgraph when Fig 6 step-2 groups are configured).
+            for (id, origin) in evicted {
+                self.try_rehost(id, origin, policy, &mut stats);
+            }
+
+            // 4. Resume hibernated apps; relaunch queued apps.
+            self.recover(policy, &mut stats);
+
+            // 4b. Execute planned preemptive moves, rate-limited so
+            // policy-ordered migrations spread over the epoch.
+            self.execute_pending_moves(&mut stats);
+
+            // 4c. Preemptive drain (MIP-peak): gradually move apps off
+            // sites whose day-ahead forecast shows a capacity deficit,
+            // before the dip forces an eviction burst.
+            if policy.preemptive_drain() {
+                self.preemptive_drain_step(policy, &mut stats);
+            }
+
+            // 5. Collect this step's arrivals; plan at epoch boundaries.
+            epoch_arrivals.extend(self.gen.step());
+            if step % self.cfg.epoch_steps as u64 == 0 {
+                let batch = std::mem::take(&mut epoch_arrivals);
+                self.plan_epoch(batch, policy);
+            }
+
+            // 6. Bookkeeping.
+            stats.queued_apps = self.queue.len();
+            stats.hibernated_apps = self
+                .apps
+                .iter()
+                .filter(|a| a.hibernated && a.site.is_some())
+                .count();
+            stats.allocated_cores = self.sites.iter().map(|s| s.allocated_cores as u64).sum();
+            stats.budget_cores = self.sites.iter().map(|s| s.budget_cores as u64).sum();
+            steps.push(stats);
+        }
+        let summary = PolicySummary::from_steps(
+            policy.name(),
+            &steps,
+            self.preemptive_moves,
+            self.dropped_apps,
+        );
+        DetailedRun { steps, summary }
+    }
+
+    fn expire(&mut self) {
+        let now = self.now;
+        for id in 0..self.apps.len() {
+            if self.apps[id].site.is_some() && self.apps[id].departs_at <= now {
+                self.detach(AppId(id));
+            }
+        }
+        // Queued apps whose lifetime lapsed never came back: drop them.
+        let before = self.queue.len();
+        let apps = &self.apps;
+        self.queue.retain(|id| apps[id.0].departs_at > now);
+        self.dropped_apps += before - self.queue.len();
+    }
+
+    /// Set budgets from actual power; hibernate degradable then evict
+    /// stable apps at overloaded sites. Returns evicted stable apps with
+    /// their origin site.
+    fn apply_power(&mut self, step: u64) -> Vec<(AppId, usize)> {
+        let mut evicted = Vec::new();
+        for s in 0..self.sites.len() {
+            let frac = self.sites[s].actual.values[step as usize].clamp(0.0, 1.0);
+            let budget = (frac * self.cfg.cores_per_site as f64).floor() as u32;
+            self.sites[s].budget_cores = budget;
+
+            // Hibernate degradable apps first (oldest resident first).
+            if self.sites[s].allocated_cores > budget {
+                let victims: Vec<AppId> = self.sites[s]
+                    .apps
+                    .iter()
+                    .copied()
+                    .filter(|id| {
+                        let a = &self.apps[id.0];
+                        !a.hibernated && a.spec.kind == VmKind::Degradable
+                    })
+                    .collect();
+                for id in victims {
+                    if self.sites[s].allocated_cores <= budget {
+                        break;
+                    }
+                    self.apps[id.0].hibernated = true;
+                    self.sites[s].allocated_cores -= self.apps[id.0].spec.cores();
+                }
+            }
+
+            // Evict stable apps (oldest resident first).
+            if self.sites[s].allocated_cores > budget {
+                let victims: Vec<AppId> = self.sites[s]
+                    .apps
+                    .iter()
+                    .copied()
+                    .filter(|id| {
+                        let a = &self.apps[id.0];
+                        !a.hibernated && a.spec.kind == VmKind::Stable
+                    })
+                    .collect();
+                for id in victims {
+                    if self.sites[s].allocated_cores <= budget {
+                        break;
+                    }
+                    self.detach(id);
+                    evicted.push((id, s));
+                }
+            }
+        }
+        evicted
+    }
+
+    /// Try to host an evicted app on a sibling site chosen by the
+    /// policy (restricted to the app's subgraph); queue it otherwise. A
+    /// successful re-host is WAN traffic.
+    fn try_rehost(
+        &mut self,
+        id: AppId,
+        origin: usize,
+        policy: &mut dyn Policy,
+        stats: &mut GroupStepStats,
+    ) {
+        let cores = self.apps[id.0].spec.cores();
+        let allowed = self.movable_targets(origin);
+        let snapshots = self.snapshots();
+        let restricted: Vec<SiteSnapshot> = allowed.iter().map(|&i| snapshots[i]).collect();
+        match policy
+            .choose_rehost(&restricted, cores)
+            .map(|local| allowed[local])
+        {
+            Some(s) => {
+                self.attach(id, s);
+                stats.transfer_gb += self.apps[id.0].spec.mem_gb();
+                stats.rehost_gb += self.apps[id.0].spec.mem_gb();
+                stats.transfers += 1;
+            }
+            None => {
+                stats.stranded_gb += self.apps[id.0].spec.mem_gb();
+                self.queue.push(id);
+            }
+        }
+    }
+
+    /// Resume hibernated apps where budgets allow, then relaunch queued
+    /// apps anywhere with room (relaunch = WAN traffic).
+    fn recover(&mut self, policy: &mut dyn Policy, stats: &mut GroupStepStats) {
+        for s in 0..self.sites.len() {
+            let resident: Vec<AppId> = self.sites[s].apps.clone();
+            for id in resident {
+                if !self.apps[id.0].hibernated {
+                    continue;
+                }
+                let cores = self.apps[id.0].spec.cores();
+                if self.sites[s].allocated_cores + cores <= self.sites[s].budget_cores {
+                    self.apps[id.0].hibernated = false;
+                    self.sites[s].allocated_cores += cores;
+                }
+            }
+        }
+        let queued = std::mem::take(&mut self.queue);
+        for id in queued {
+            let cores = self.apps[id.0].spec.cores();
+            let allowed = self.movable_targets(self.apps[id.0].last_site);
+            let snapshots = self.snapshots();
+            let restricted: Vec<SiteSnapshot> = allowed.iter().map(|&i| snapshots[i]).collect();
+            match policy
+                .choose_rehost(&restricted, cores)
+                .map(|local| allowed[local])
+            {
+                Some(s) => {
+                    self.attach(id, s);
+                    stats.transfer_gb += self.apps[id.0].spec.mem_gb();
+                    stats.relaunch_gb += self.apps[id.0].spec.mem_gb();
+                    stats.transfers += 1;
+                }
+                None => self.queue.push(id),
+            }
+        }
+    }
+
+    /// Site indices an app currently at `site` may move to: its
+    /// subgraph's members when subgraphs are configured, every site
+    /// otherwise.
+    fn movable_targets(&self, site: usize) -> Vec<usize> {
+        match &self.cfg.subgraphs {
+            Some(groups) => groups
+                .iter()
+                .find(|g| g.contains(&site))
+                .cloned()
+                .unwrap_or_else(|| vec![site]),
+            None => (0..self.sites.len()).collect(),
+        }
+    }
+
+    /// Per-site state snapshots for runtime re-hosting decisions.
+    fn snapshots(&self) -> Vec<SiteSnapshot> {
+        self.sites
+            .iter()
+            .map(|st| {
+                let cap = (self.cfg.target_util * st.budget_cores as f64).floor() as u32;
+                let lo = self.now as usize;
+                let hi = (lo + 96).min(st.fd.len());
+                let min_frac = if lo < hi {
+                    st.fd.values[lo..hi]
+                        .iter()
+                        .copied()
+                        .fold(f64::INFINITY, f64::min)
+                } else {
+                    0.0
+                };
+                SiteSnapshot {
+                    budget_cores: st.budget_cores,
+                    allocated_cores: st.allocated_cores,
+                    total_cores: self.cfg.cores_per_site,
+                    admission_cap: cap,
+                    forecast_min_24h_cores: min_frac
+                        * self.cfg.cores_per_site as f64
+                        * self.cfg.target_util,
+                }
+            })
+            .collect()
+    }
+
+    /// Run the policy for an epoch batch and execute its assignments.
+    fn plan_epoch(&mut self, batch: Vec<AppSpec>, policy: &mut dyn Policy) {
+        // Register the new apps.
+        let new_apps: Vec<NewApp> = batch
+            .into_iter()
+            .map(|spec| {
+                let id = AppId(self.apps.len());
+                self.apps.push(AppState {
+                    spec,
+                    site: None,
+                    last_site: 0,
+                    hibernated: false,
+                    departs_at: self.now + spec.lifetime_steps as u64,
+                });
+                NewApp { id, spec }
+            })
+            .collect();
+
+        let movable = self.pick_movable();
+        let ctx = self.build_context(&new_apps, &movable);
+        let plan = policy.plan(&ctx);
+
+        let movable_ids: Vec<AppId> = movable.iter().map(|m| m.id).collect();
+        for assignment in plan {
+            let id = assignment.app;
+            let s = assignment.site.min(self.sites.len() - 1);
+            if movable_ids.contains(&id) {
+                // Preemptive move: enqueue; executed rate-limited.
+                if self.apps[id.0].site == Some(s) {
+                    continue;
+                }
+                self.pending_moves.push_back((id, s));
+            } else {
+                // Initial placement: deployment, not migration traffic.
+                self.attach(id, s);
+            }
+        }
+        // Any new app the policy failed to assign goes to the queue.
+        for a in &new_apps {
+            if self.apps[a.id.0].site.is_none() {
+                self.queue.push(a.id);
+            }
+        }
+    }
+
+    /// Execute queued preemptive moves, at most `moves_per_step` per
+    /// step. Stale orders (app departed, already moved, or evicted in
+    /// the meantime) are dropped silently.
+    fn execute_pending_moves(&mut self, stats: &mut GroupStepStats) {
+        let mut executed = 0usize;
+        while executed < self.cfg.moves_per_step {
+            let Some((id, target)) = self.pending_moves.pop_front() else {
+                break;
+            };
+            let app = &self.apps[id.0];
+            if app.departs_at <= self.now || app.site.is_none() || app.site == Some(target) {
+                continue; // stale order
+            }
+            self.detach(id);
+            self.attach(id, target);
+            stats.transfer_gb += self.apps[id.0].spec.mem_gb();
+            stats.move_gb += self.apps[id.0].spec.mem_gb();
+            stats.transfers += 1;
+            self.preemptive_moves += 1;
+            self.moved_at.insert(id, self.now);
+            executed += 1;
+        }
+    }
+
+    /// One step of preemptive draining: for each site whose committed
+    /// stable cores exceed the worst admissible capacity of the next
+    /// 24 h, move the *smallest* stable apps to policy-chosen homes —
+    /// rate-limited to `moves_per_step`, so a predicted dip drains as a
+    /// stream of small transfers instead of one burst ("performing more
+    /// number of migrations … but each at a lower volume", §3.1).
+    fn preemptive_drain_step(&mut self, policy: &mut dyn Policy, stats: &mut GroupStepStats) {
+        let mut moved = 0usize;
+        for s in 0..self.sites.len() {
+            if moved >= self.cfg.moves_per_step {
+                break;
+            }
+            let snapshots = self.snapshots();
+            let stable_cores: f64 = self.sites[s]
+                .apps
+                .iter()
+                .filter(|id| {
+                    let a = &self.apps[id.0];
+                    a.spec.kind == VmKind::Stable && !a.hibernated
+                })
+                .map(|id| self.apps[id.0].spec.cores() as f64)
+                .sum();
+            let mut deficit = stable_cores - snapshots[s].forecast_min_24h_cores;
+            if deficit <= 0.0 {
+                continue;
+            }
+            // Smallest stable apps first, skipping recently moved ones.
+            let mut victims: Vec<AppId> = self.sites[s]
+                .apps
+                .iter()
+                .copied()
+                .filter(|id| {
+                    let a = &self.apps[id.0];
+                    a.spec.kind == VmKind::Stable
+                        && !a.hibernated
+                        && a.departs_at > self.now + 24
+                        && self.moved_at.get(id).is_none_or(|&t| self.now >= t + 96)
+                })
+                .collect();
+            victims.sort_by(|a, b| {
+                self.apps[a.0]
+                    .spec
+                    .mem_gb()
+                    .partial_cmp(&self.apps[b.0].spec.mem_gb())
+                    .expect("finite")
+            });
+            for id in victims {
+                if deficit <= 0.0 || moved >= self.cfg.moves_per_step {
+                    break;
+                }
+                let cores = self.apps[id.0].spec.cores();
+                let allowed = self.movable_targets(s);
+                let snapshots = self.snapshots();
+                let restricted: Vec<SiteSnapshot> = allowed.iter().map(|&i| snapshots[i]).collect();
+                let Some(target) = policy
+                    .choose_rehost(&restricted, cores)
+                    .map(|local| allowed[local])
+                else {
+                    break;
+                };
+                // Only drain toward genuinely safer ground.
+                let score = |t: usize| {
+                    snapshots[t].forecast_min_24h_cores - snapshots[t].allocated_cores as f64
+                };
+                if target == s || score(target) <= score(s) {
+                    break;
+                }
+                self.detach(id);
+                self.attach(id, target);
+                stats.transfer_gb += self.apps[id.0].spec.mem_gb();
+                stats.move_gb += self.apps[id.0].spec.mem_gb();
+                stats.transfers += 1;
+                self.preemptive_moves += 1;
+                self.moved_at.insert(id, self.now);
+                deficit -= cores as f64;
+                moved += 1;
+            }
+        }
+    }
+
+    /// Stable apps at sites whose forecast shows a capacity deficit,
+    /// largest first, capped at `max_movable`.
+    fn pick_movable(&self) -> Vec<MovableApp> {
+        let mut out = Vec::new();
+        for (s, site) in self.sites.iter().enumerate() {
+            if !self.site_at_risk(s) {
+                continue;
+            }
+            for &id in &site.apps {
+                let a = &self.apps[id.0];
+                // Anti-thrash cooldown: an app moved preemptively in the
+                // last 12 h is not offered again.
+                let recently_moved = self.moved_at.get(&id).is_some_and(|&t| self.now < t + 48);
+                if recently_moved {
+                    continue;
+                }
+                if a.spec.kind == VmKind::Stable && !a.hibernated && a.departs_at > self.now {
+                    out.push(MovableApp {
+                        id,
+                        current_site: s,
+                        cores: a.spec.cores(),
+                        mem_gb: a.spec.mem_gb(),
+                        remaining_steps: (a.departs_at - self.now) as u32,
+                    });
+                }
+            }
+        }
+        out.sort_by(|a, b| b.mem_gb.partial_cmp(&a.mem_gb).expect("finite"));
+        out.truncate(self.cfg.max_movable);
+        out
+    }
+
+    /// Does the day-ahead forecast show this site's committed cores
+    /// exceeding capacity at any point in the next day?
+    fn site_at_risk(&self, s: usize) -> bool {
+        let site = &self.sites[s];
+        let committed = site.allocated_cores as f64;
+        let end = (self.now as usize + 96).min(site.fd.len());
+        site.fd.values[self.now as usize..end]
+            .iter()
+            .any(|&f| (f * self.cfg.cores_per_site as f64) < committed)
+    }
+
+    fn build_context(&self, new_apps: &[NewApp], movable: &[MovableApp]) -> PlanContext {
+        let bucket = (self.cfg.bucket_steps as usize).max(1);
+        let remaining = (self.n_steps - self.now) as usize;
+        let buckets = remaining.div_ceil(bucket).clamp(1, (7 * 96) / bucket);
+
+        let movable_ids: Vec<AppId> = movable.iter().map(|m| m.id).collect();
+        let sites = self
+            .sites
+            .iter()
+            .map(|st| {
+                // Degradable running cores absorb dips without traffic:
+                // credit them to forecast capacity rather than charging
+                // them as displaceable load.
+                let degradable: f64 = st
+                    .apps
+                    .iter()
+                    .filter(|id| {
+                        let a = &self.apps[id.0];
+                        a.spec.kind == VmKind::Degradable && !a.hibernated
+                    })
+                    .map(|id| self.apps[id.0].spec.cores() as f64)
+                    .sum();
+
+                let mut capacity = Vec::with_capacity(buckets);
+                let mut committed = Vec::with_capacity(buckets);
+                for b in 0..buckets {
+                    let lo = self.now as usize + b * bucket;
+                    let hi = (lo + bucket).min(st.actual.len());
+                    // Composite forecast: the freshest product per lead
+                    // time (3h-ahead, then day-ahead, then week-ahead).
+                    let series = if b * bucket < 12 {
+                        &st.f3
+                    } else if b * bucket < 96 {
+                        &st.fd
+                    } else {
+                        &st.fw
+                    };
+                    let mean_frac = if lo < hi {
+                        vb_stats::mean(&series.values[lo..hi])
+                    } else {
+                        0.0
+                    };
+                    // Plan against the *admissible* share of forecast
+                    // power (the runtime admits up to target_util of the
+                    // powered cores). Planning to 100 % of the forecast
+                    // would leave no margin for forecast error — any
+                    // small dip would force evictions.
+                    capacity.push(
+                        mean_frac * self.cfg.cores_per_site as f64 * self.cfg.target_util
+                            + degradable,
+                    );
+
+                    // Committed stable cores at the bucket start,
+                    // excluding apps offered as movable.
+                    let t = (self.now as usize + b * bucket) as u64;
+                    let stable: f64 = st
+                        .apps
+                        .iter()
+                        .filter(|id| {
+                            let a = &self.apps[id.0];
+                            a.spec.kind == VmKind::Stable
+                                && !a.hibernated
+                                && a.departs_at > t
+                                && !movable_ids.contains(id)
+                        })
+                        .map(|id| self.apps[id.0].spec.cores() as f64)
+                        .sum();
+                    committed.push(stable);
+                }
+                SitePlanInfo {
+                    name: st.site.name.clone(),
+                    total_cores: self.cfg.cores_per_site,
+                    current_budget_cores: st.budget_cores,
+                    allocated_cores: st.allocated_cores,
+                    capacity_forecast_cores: capacity,
+                    committed_cores: committed,
+                }
+            })
+            .collect();
+        PlanContext {
+            now: self.now,
+            bucket_steps: self.cfg.bucket_steps,
+            sites,
+            new_apps: new_apps.to_vec(),
+            movable: movable.to_vec(),
+        }
+    }
+
+    fn attach(&mut self, id: AppId, s: usize) {
+        debug_assert!(self.apps[id.0].site.is_none());
+        self.apps[id.0].site = Some(s);
+        self.apps[id.0].last_site = s;
+        self.apps[id.0].hibernated = false;
+        self.sites[s].apps.push(id);
+        self.sites[s].allocated_cores += self.apps[id.0].spec.cores();
+    }
+
+    fn detach(&mut self, id: AppId) {
+        if let Some(s) = self.apps[id.0].site.take() {
+            self.sites[s].apps.retain(|&a| a != id);
+            if !self.apps[id.0].hibernated {
+                self.sites[s].allocated_cores -= self.apps[id.0].spec.cores();
+            }
+            self.apps[id.0].hibernated = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::GreedyPolicy;
+    use crate::mip::{MipConfig, MipPolicy};
+
+    fn tiny_cfg() -> GroupSimConfig {
+        GroupSimConfig {
+            cores_per_site: 400,
+            days: 2,
+            epoch_steps: 12,
+            bucket_steps: 12,
+            seed: 7,
+            ..GroupSimConfig::default()
+        }
+    }
+
+    fn catalog() -> Catalog {
+        Catalog::europe(42)
+    }
+
+    #[test]
+    fn greedy_run_completes_and_accounts() {
+        let sim = GroupSim::new(&catalog(), &["NO-solar", "UK-wind", "PT-wind"], tiny_cfg());
+        let n = sim.n_steps() as usize;
+        let summary = sim.run(&mut GreedyPolicy::new());
+        assert_eq!(summary.per_step_gb.len(), n);
+        assert_eq!(summary.policy, "Greedy");
+        assert!(summary.total_gb >= 0.0);
+        assert!(summary.peak_gb <= summary.total_gb + 1e-9);
+        assert!((0.0..=1.0).contains(&summary.zero_fraction));
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let a = GroupSim::new(&catalog(), &["UK-wind", "PT-wind"], tiny_cfg())
+            .run(&mut GreedyPolicy::new());
+        let b = GroupSim::new(&catalog(), &["UK-wind", "PT-wind"], tiny_cfg())
+            .run(&mut GreedyPolicy::new());
+        assert_eq!(a.per_step_gb, b.per_step_gb);
+        assert_eq!(a.total_gb, b.total_gb);
+    }
+
+    #[test]
+    fn mip_run_completes_without_fallbacks() {
+        let sim = GroupSim::new(&catalog(), &["UK-wind", "PT-wind"], tiny_cfg());
+        let mut policy = MipPolicy::new(MipConfig::mip_24h());
+        let summary = sim.run(&mut policy);
+        assert_eq!(summary.policy, "MIP-24h");
+        assert_eq!(policy.fallbacks_used(), 0, "exact solves should succeed");
+    }
+
+    #[test]
+    fn multi_site_beats_single_site_on_availability() {
+        // The §2.3 claim: aggregating complementary sites reduces
+        // unavailability for stable applications.
+        let single =
+            GroupSim::new(&catalog(), &["NO-solar"], tiny_cfg()).run(&mut GreedyPolicy::new());
+        let multi = GroupSim::new(&catalog(), &["NO-solar", "UK-wind", "PT-wind"], tiny_cfg())
+            .run(&mut GreedyPolicy::new());
+        assert!(
+            multi.unavailable_app_steps < single.unavailable_app_steps,
+            "multi {} vs single {}",
+            multi.unavailable_app_steps,
+            single.unavailable_app_steps
+        );
+    }
+
+    #[test]
+    fn per_step_volumes_are_nonnegative_and_finite() {
+        let summary = GroupSim::new(&catalog(), &["UK-wind", "PT-wind"], tiny_cfg())
+            .run(&mut GreedyPolicy::new());
+        assert!(summary
+            .per_step_gb
+            .iter()
+            .all(|&v| v >= 0.0 && v.is_finite()));
+    }
+}
+
+#[cfg(test)]
+mod subgraph_tests {
+    use super::*;
+    use crate::greedy::GreedyPolicy;
+
+    fn cfg_with_groups() -> GroupSimConfig {
+        GroupSimConfig {
+            cores_per_site: 400,
+            days: 2,
+            seed: 7,
+            // Two disjoint subgraphs: {0,1} and {2,3}.
+            subgraphs: Some(vec![vec![0, 1], vec![2, 3]]),
+            ..GroupSimConfig::default()
+        }
+    }
+
+    #[test]
+    fn subgraph_restriction_runs_and_bounds_targets() {
+        let catalog = Catalog::europe(42);
+        let names = ["NO-solar", "UK-wind", "PT-wind", "ES-wind"];
+        let summary =
+            GroupSim::new(&catalog, &names, cfg_with_groups()).run(&mut GreedyPolicy::new());
+        assert_eq!(summary.per_step_gb.len(), 2 * 96);
+        assert!(summary.per_step_gb.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn movable_targets_respect_groups() {
+        let catalog = Catalog::europe(42);
+        let names = ["NO-solar", "UK-wind", "PT-wind", "ES-wind"];
+        let sim = GroupSim::new(&catalog, &names, cfg_with_groups());
+        assert_eq!(sim.movable_targets(0), vec![0, 1]);
+        assert_eq!(sim.movable_targets(3), vec![2, 3]);
+        // Ungrouped default covers every site.
+        let open = GroupSim::new(
+            &catalog,
+            &names,
+            GroupSimConfig {
+                cores_per_site: 400,
+                days: 1,
+                ..GroupSimConfig::default()
+            },
+        );
+        assert_eq!(open.movable_targets(1), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unconstrained_rehosting_strands_no_more_than_constrained() {
+        // Removing the latency constraint can only widen re-host options,
+        // so the ungrouped run must have no more stranded app-steps.
+        let catalog = Catalog::europe(42);
+        let names = ["NO-solar", "UK-wind", "PT-wind", "ES-wind"];
+        let grouped =
+            GroupSim::new(&catalog, &names, cfg_with_groups()).run(&mut GreedyPolicy::new());
+        let open_cfg = GroupSimConfig {
+            subgraphs: None,
+            ..cfg_with_groups()
+        };
+        let open = GroupSim::new(&catalog, &names, open_cfg).run(&mut GreedyPolicy::new());
+        assert!(
+            open.unavailable_app_steps <= grouped.unavailable_app_steps,
+            "open {} vs grouped {}",
+            open.unavailable_app_steps,
+            grouped.unavailable_app_steps
+        );
+    }
+}

@@ -1,0 +1,371 @@
+//! Best-first branch & bound for mixed-integer programs.
+//!
+//! Solves the LP relaxation with the [`crate::simplex`] engine; while the
+//! relaxed optimum assigns a fractional value to an integer variable,
+//! branches on the most fractional one with `x ≤ ⌊v⌋` / `x ≥ ⌈v⌉` bound
+//! splits. Nodes are explored best-bound-first, so the first incumbent
+//! found tends to be good and pruning is effective. The search is exact:
+//! it terminates with the true optimum (or `Infeasible`).
+
+use crate::model::{Model, Sense, Solution, SolveError, VarId};
+use crate::simplex;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Integrality tolerance: values this close to an integer count as
+/// integral.
+const INT_EPS: f64 = 1e-6;
+
+/// Default node budget: effectively "solve to optimality" for the model
+/// sizes in this workspace.
+const MAX_NODES: usize = 200_000;
+
+/// Solve a model with integer variables to optimality.
+pub fn solve_mip(model: &Model) -> Result<Solution, SolveError> {
+    solve_mip_bounded(model, MAX_NODES)
+}
+
+/// Solve with a node budget. When the budget runs out, the best
+/// incumbent found so far is returned (an anytime solve, as commercial
+/// solvers do under a time limit); only if *no* incumbent exists does it
+/// fail with [`SolveError::IterationLimit`]. A rounding dive at the root
+/// produces an incumbent almost immediately, so bounded solves rarely
+/// fail outright.
+pub fn solve_mip_bounded(model: &Model, max_nodes: usize) -> Result<Solution, SolveError> {
+    let int_vars: Vec<VarId> = model
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.integer)
+        .map(|(i, _)| VarId(i))
+        .collect();
+
+    // Root relaxation.
+    let root = simplex::solve_lp(model, &[])?;
+
+    let better = |a: f64, b: f64| match model.sense {
+        Sense::Minimize => a < b - 1e-9,
+        Sense::Maximize => a > b + 1e-9,
+    };
+
+    let mut heap = BinaryHeap::new();
+    heap.push(Node {
+        bound: root.objective,
+        sense: model.sense,
+        overrides: Vec::new(),
+        relaxed: root.clone(),
+    });
+
+    // Rounding dive from the root: fix the most fractional variable to
+    // its nearest integer and re-solve until integral. This produces an
+    // incumbent in ~|int_vars| LP solves, making bounded solves anytime.
+    let mut incumbent: Option<Solution> = dive(model, &int_vars, root);
+    let mut explored = 0usize;
+    let mut budget_exhausted = false;
+
+    while let Some(node) = heap.pop() {
+        explored += 1;
+        if explored > max_nodes {
+            budget_exhausted = true;
+            break;
+        }
+        // Bound pruning: the node's relaxation bound cannot beat the
+        // incumbent.
+        if let Some(inc) = &incumbent {
+            if !better(node.bound, inc.objective) {
+                continue;
+            }
+        }
+
+        match most_fractional(&node.relaxed, &int_vars) {
+            None => {
+                // Integral: candidate incumbent (round off the epsilon).
+                let snapped = snap(&node.relaxed, &int_vars);
+                let accept = incumbent
+                    .as_ref()
+                    .is_none_or(|inc| better(snapped.objective, inc.objective));
+                if accept {
+                    incumbent = Some(snapped);
+                }
+            }
+            Some((var, value)) => {
+                let floor = value.floor();
+                for (lo, hi) in [(f64::NEG_INFINITY, floor), (floor + 1.0, f64::INFINITY)] {
+                    let mut overrides = node.overrides.clone();
+                    let (base_lb, base_ub) = effective_bounds(model, &overrides, var);
+                    let new_lb = base_lb.max(lo);
+                    let new_ub = base_ub.min(hi);
+                    if new_lb > new_ub + INT_EPS {
+                        continue;
+                    }
+                    overrides.retain(|&(v, _, _)| v != var);
+                    overrides.push((var, new_lb, new_ub));
+                    if let Ok(relaxed) = simplex::solve_lp(model, &overrides) {
+                        let keep = incumbent
+                            .as_ref()
+                            .is_none_or(|inc| better(relaxed.objective, inc.objective));
+                        if keep {
+                            heap.push(Node {
+                                bound: relaxed.objective,
+                                sense: model.sense,
+                                overrides,
+                                relaxed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    incumbent.ok_or(if budget_exhausted {
+        SolveError::IterationLimit
+    } else {
+        SolveError::Infeasible
+    })
+}
+
+/// Greedy rounding dive: repeatedly fix the most fractional integer
+/// variable to its nearest value (trying the other direction on
+/// infeasibility) until the relaxation is integral. Returns the rounded
+/// solution when the dive survives to the bottom.
+fn dive(model: &Model, int_vars: &[VarId], mut relaxed: Solution) -> Option<Solution> {
+    let mut overrides: Vec<(VarId, f64, f64)> = Vec::new();
+    loop {
+        let Some((var, value)) = most_fractional(&relaxed, int_vars) else {
+            return Some(snap(&relaxed, int_vars));
+        };
+        let (lb, ub) = (model.vars[var.0].lb, model.vars[var.0].ub);
+        let nearest = value.round().clamp(lb.ceil(), ub.floor());
+        let other = (if nearest > value {
+            value.floor()
+        } else {
+            value.ceil()
+        })
+        .clamp(lb.ceil(), ub.floor());
+        let mut fixed = false;
+        for candidate in [nearest, other] {
+            let mut trial = overrides.clone();
+            trial.retain(|&(v, _, _)| v != var);
+            trial.push((var, candidate, candidate));
+            if let Ok(sol) = simplex::solve_lp(model, &trial) {
+                overrides = trial;
+                relaxed = sol;
+                fixed = true;
+                break;
+            }
+        }
+        if !fixed {
+            return None;
+        }
+    }
+}
+
+/// Current bounds of `var` under the model plus overrides.
+fn effective_bounds(model: &Model, overrides: &[(VarId, f64, f64)], var: VarId) -> (f64, f64) {
+    overrides
+        .iter()
+        .find(|&&(v, _, _)| v == var)
+        .map(|&(_, l, u)| (l, u))
+        .unwrap_or((model.vars[var.0].lb, model.vars[var.0].ub))
+}
+
+/// The integer variable whose relaxed value is farthest from integral.
+fn most_fractional(sol: &Solution, int_vars: &[VarId]) -> Option<(VarId, f64)> {
+    let mut best: Option<(VarId, f64, f64)> = None;
+    for &v in int_vars {
+        let x = sol.value(v);
+        let frac = (x - x.round()).abs();
+        if frac > INT_EPS {
+            let dist = (x - x.floor() - 0.5).abs(); // 0 = most fractional
+            if best.is_none_or(|(_, _, d)| dist < d) {
+                best = Some((v, x, dist));
+            }
+        }
+    }
+    best.map(|(v, x, _)| (v, x))
+}
+
+/// Round integer variables exactly onto the grid.
+fn snap(sol: &Solution, int_vars: &[VarId]) -> Solution {
+    let mut values = sol.values().to_vec();
+    for &v in int_vars {
+        values[v.0] = values[v.0].round();
+    }
+    Solution::new(sol.objective, values)
+}
+
+/// Branch & bound search node, ordered so the heap pops the best bound
+/// first (largest for maximisation, smallest for minimisation).
+struct Node {
+    bound: f64,
+    sense: Sense,
+    overrides: Vec<(VarId, f64, f64)>,
+    relaxed: Solution,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let ord = self
+            .bound
+            .partial_cmp(&other.bound)
+            .unwrap_or(Ordering::Equal);
+        match self.sense {
+            Sense::Maximize => ord,
+            Sense::Minimize => ord.reverse(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinExpr, Model, Sense};
+
+    #[test]
+    fn knapsack_is_solved_exactly() {
+        // Classic 0/1 knapsack: values [60,100,120], weights [10,20,30],
+        // capacity 50 -> take items 2 and 3, value 220.
+        let mut m = Model::new(Sense::Maximize);
+        let x: Vec<VarId> = (0..3).map(|i| m.bin_var(&format!("x{i}"))).collect();
+        let e = m.expr(&[(x[0], 10.0), (x[1], 20.0), (x[2], 30.0)]);
+        m.add_le(e, 50.0);
+        let obj = m.expr(&[(x[0], 60.0), (x[1], 100.0), (x[2], 120.0)]);
+        m.set_objective(obj);
+        let s = m.solve().unwrap();
+        assert!((s.objective - 220.0).abs() < 1e-6);
+        assert_eq!(s.int_value(x[0]), 0);
+        assert_eq!(s.int_value(x[1]), 1);
+        assert_eq!(s.int_value(x[2]), 1);
+    }
+
+    #[test]
+    fn integer_rounding_is_not_lp_rounding() {
+        // max x + y s.t. 2x + 2y <= 3, integers -> LP gives 1.5, MIP 1.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.int_var("x", 0.0, 5.0);
+        let y = m.int_var("y", 0.0, 5.0);
+        let e = m.expr(&[(x, 2.0), (y, 2.0)]);
+        m.add_le(e, 3.0);
+        let obj = m.expr(&[(x, 1.0), (y, 1.0)]);
+        m.set_objective(obj);
+        let s = m.solve().unwrap();
+        assert!((s.objective - 1.0).abs() < 1e-6, "obj {}", s.objective);
+    }
+
+    #[test]
+    fn mixed_integer_and_continuous() {
+        // max 2x + y, x integer <= 2.5 bound via constraint, y cont <= 1.7.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.int_var("x", 0.0, 10.0);
+        let y = m.var("y", 0.0, 10.0);
+        let e1 = m.expr(&[(x, 1.0)]);
+        m.add_le(e1, 2.5);
+        let e2 = m.expr(&[(y, 1.0)]);
+        m.add_le(e2, 1.7);
+        let obj = m.expr(&[(x, 2.0), (y, 1.0)]);
+        m.set_objective(obj);
+        let s = m.solve().unwrap();
+        assert_eq!(s.int_value(x), 2);
+        assert!((s.value(y) - 1.7).abs() < 1e-6);
+        assert!((s.objective - 5.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_mip_is_reported() {
+        // x + y = 1 with x, y binary and x + y >= 3.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.bin_var("x");
+        let y = m.bin_var("y");
+        let e = m.expr(&[(x, 1.0), (y, 1.0)]);
+        m.add_ge(e, 3.0);
+        let obj = m.expr(&[(x, 1.0)]);
+        m.set_objective(obj);
+        assert_eq!(m.solve().unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn minimization_mip() {
+        // min 3x + 4y s.t. x + 2y >= 5, integers >= 0.
+        // Candidates: (5,0)=15, (3,1)=13, (1,2)=11, (0,3)=12 -> 11.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.int_var("x", 0.0, 100.0);
+        let y = m.int_var("y", 0.0, 100.0);
+        let e = m.expr(&[(x, 1.0), (y, 2.0)]);
+        m.add_ge(e, 5.0);
+        let obj = m.expr(&[(x, 3.0), (y, 4.0)]);
+        m.set_objective(obj);
+        let s = m.solve().unwrap();
+        assert!((s.objective - 11.0).abs() < 1e-6, "obj {}", s.objective);
+        assert_eq!((s.int_value(x), s.int_value(y)), (1, 2));
+    }
+
+    #[test]
+    fn equality_constrained_assignment() {
+        // Assign 2 apps to 2 sites, each app exactly once, site 0 holds
+        // only one app. Costs: a0s0=1, a0s1=5, a1s0=2, a1s1=4.
+        // Best: a0->s0 (1), a1->s1 (4) = 5.
+        let mut m = Model::new(Sense::Minimize);
+        let a0s0 = m.bin_var("a0s0");
+        let a0s1 = m.bin_var("a0s1");
+        let a1s0 = m.bin_var("a1s0");
+        let a1s1 = m.bin_var("a1s1");
+        let e1 = m.expr(&[(a0s0, 1.0), (a0s1, 1.0)]);
+        m.add_eq(e1, 1.0);
+        let e2 = m.expr(&[(a1s0, 1.0), (a1s1, 1.0)]);
+        m.add_eq(e2, 1.0);
+        let e3 = m.expr(&[(a0s0, 1.0), (a1s0, 1.0)]);
+        m.add_le(e3, 1.0);
+        let obj = m.expr(&[(a0s0, 1.0), (a0s1, 5.0), (a1s0, 2.0), (a1s1, 4.0)]);
+        m.set_objective(obj);
+        let s = m.solve().unwrap();
+        assert!((s.objective - 5.0).abs() < 1e-6);
+        assert_eq!(s.int_value(a0s0), 1);
+        assert_eq!(s.int_value(a1s1), 1);
+    }
+
+    #[test]
+    fn objective_constant_survives_branching() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.int_var("x", 0.0, 10.0);
+        let e = m.expr(&[(x, 2.0)]);
+        m.add_ge(e, 3.0); // x >= 1.5 -> x = 2
+        let obj = LinExpr::term(x, 1.0).add_const(7.0);
+        m.set_objective(obj);
+        let s = m.solve().unwrap();
+        assert_eq!(s.int_value(x), 2);
+        assert!((s.objective - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimax_pattern_used_by_mip_peak() {
+        // The O2 objective is modelled as min z with z >= load_i. Mixing
+        // a continuous z with binary placement vars must work.
+        // Two items of sizes 3 and 5 onto two sites; minimise the peak.
+        let mut m = Model::new(Sense::Minimize);
+        let z = m.var("z", 0.0, f64::INFINITY);
+        let x0 = m.bin_var("item0_site0");
+        let x1 = m.bin_var("item1_site0");
+        // Site 0 load = 3 x0 + 5 x1; site 1 load = 3(1-x0) + 5(1-x1).
+        let e1 = m.expr(&[(x0, 3.0), (x1, 5.0), (z, -1.0)]);
+        m.add_le(e1, 0.0);
+        let e2 = m.expr(&[(x0, -3.0), (x1, -5.0), (z, -1.0)]);
+        m.add_le(e2, -8.0);
+        let obj = m.expr(&[(z, 1.0)]);
+        m.set_objective(obj);
+        let s = m.solve().unwrap();
+        // Best split: 5 on one site, 3 on the other -> peak 5.
+        assert!((s.objective - 5.0).abs() < 1e-6, "obj {}", s.objective);
+    }
+}

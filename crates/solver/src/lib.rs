@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # vb-solver — linear and mixed-integer programming from scratch
+//!
+//! §3.1 of the paper formulates subgraph and site selection as
+//! Mixed-Integer Programs with two objectives — total migration overhead
+//! (O1) and peak migration overhead (O2). The authors presumably used a
+//! commercial solver; to keep the reproduction self-contained this crate
+//! implements the needed machinery from scratch:
+//!
+//! * [`model`] — a small modelling layer: variables with bounds and
+//!   integrality, linear expressions, `≤ / ≥ / =` constraints, and a
+//!   minimise/maximise objective.
+//! * [`simplex`] — a dense two-phase primal simplex for the LP
+//!   relaxations, with a Bland-rule fallback for anti-cycling.
+//! * [`branch`] — best-first branch & bound on fractional integer
+//!   variables, giving exact MIP optima.
+//!
+//! The scheduler's MIPs are small (tens to a few hundred variables), so
+//! a dense exact method is both simpler and sufficient; a commercial
+//! solver would return the same optima.
+//!
+//! ```
+//! use vb_solver::{Model, Sense};
+//!
+//! // max x + 2y  s.t.  x + y <= 4,  x,y in {0..3} integer
+//! let mut m = Model::new(Sense::Maximize);
+//! let x = m.int_var("x", 0.0, 3.0);
+//! let y = m.int_var("y", 0.0, 3.0);
+//! let budget = m.expr(&[(x, 1.0), (y, 1.0)]);
+//! m.add_le(budget, 4.0);
+//! let objective = m.expr(&[(x, 1.0), (y, 2.0)]);
+//! m.set_objective(objective);
+//! let sol = m.solve().unwrap();
+//! assert_eq!(sol.objective.round(), 7.0); // x=1, y=3
+//! ```
+
+pub mod branch;
+pub mod model;
+pub mod simplex;
+
+pub use model::{Cmp, LinExpr, Model, Sense, Solution, SolveError, VarId};

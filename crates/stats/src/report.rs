@@ -1,0 +1,277 @@
+//! Plain-text tables and a minimal JSON emitter for experiment output.
+//!
+//! The bench harness regenerates the paper's tables and figure series as
+//! text. A tiny hand-rolled emitter keeps the workspace inside the
+//! approved dependency set (no `serde_json`): experiment results are
+//! simple trees of numbers and strings, which [`Json`] covers.
+
+use std::fmt::Write as _;
+
+/// A minimal JSON value for experiment reports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (non-finite values serialize as `null`).
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Arr(Vec<Json>),
+    /// JSON object (insertion-ordered key/value pairs).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for object literals.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Convenience constructor for number arrays.
+    pub fn nums(values: &[f64]) -> Json {
+        Json::Arr(values.iter().map(|&v| Json::Num(v)).collect())
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // Integral values print without a trailing ".0" to stay
+                    // close to what a human would write in a table.
+                    if n.fract() == 0.0 && n.abs() < 1e15 {
+                        let _ = write!(out, "{}", *n as i64);
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                } else {
+                    // JSON has no Inf/NaN; encode as null like most emitters.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Json {
+    /// Serialize to a compact JSON string.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+/// A fixed-width plain-text table, in the style of the paper's Table 1.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (shorter rows are padded with blanks).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        let mut row: Vec<String> = cells.to_vec();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Append a row of display-formatted cells.
+    pub fn row_display(&mut self, cells: &[&dyn std::fmt::Display]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with padded columns and a header separator.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:<width$}", cell, width = widths[i]);
+            }
+            // Strip trailing padding for clean diffs.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// Format a byte-count-like quantity in GB with thousands separators, the
+/// way Table 1 prints "306,966".
+pub fn thousands(v: f64) -> String {
+    let neg = v < 0.0;
+    let mut n = v.abs().round() as u64;
+    if n == 0 {
+        return if neg { "-0".into() } else { "0".into() };
+    }
+    let mut groups = Vec::new();
+    while n > 0 {
+        groups.push((n % 1000) as u16);
+        n /= 1000;
+    }
+    let mut out = String::new();
+    if neg {
+        out.push('-');
+    }
+    for (i, g) in groups.iter().rev().enumerate() {
+        if i == 0 {
+            let _ = write!(out, "{g}");
+        } else {
+            let _ = write!(out, ",{g:03}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_scalars_serialize() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::Num(3.0).to_string(), "3");
+        assert_eq!(Json::Num(3.5).to_string(), "3.5");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Str("a\"b".into()).to_string(), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn json_composites_serialize() {
+        let j = Json::obj(vec![
+            ("name", Json::Str("solar".into())),
+            ("values", Json::nums(&[1.0, 2.5])),
+        ]);
+        assert_eq!(j.to_string(), r#"{"name":"solar","values":[1,2.5]}"#);
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        assert_eq!(
+            Json::Str("a\nb\t\u{1}".into()).to_string(),
+            "\"a\\nb\\t\\u0001\""
+        );
+    }
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new(&["Policy", "Total"]);
+        t.row(&["Greedy".into(), "306,966".into()]);
+        t.row(&["MIP".into(), "209,961".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Policy"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].contains("Greedy"));
+        // Column alignment: "Total" column starts at the same offset.
+        assert_eq!(lines[2].find("306,966"), lines[3].find("209,961"));
+    }
+
+    #[test]
+    fn table_pads_short_rows() {
+        let mut t = Table::new(&["a", "b", "c"]);
+        t.row(&["x".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(t.render().contains('x'));
+    }
+
+    #[test]
+    fn thousands_groups_digits() {
+        assert_eq!(thousands(0.0), "0");
+        assert_eq!(thousands(999.0), "999");
+        assert_eq!(thousands(1_000.0), "1,000");
+        assert_eq!(thousands(306_966.0), "306,966");
+        assert_eq!(thousands(1_234_567.4), "1,234,567");
+        assert_eq!(thousands(-2_500.0), "-2,500");
+    }
+}

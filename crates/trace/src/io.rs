@@ -1,0 +1,424 @@
+//! Trace serialization: a simple CSV form for interoperability with
+//! plotting tools, and a compact binary codec (via `bytes`) for caching
+//! long simulation inputs.
+//!
+//! CSV layout (one sample per line):
+//!
+//! ```csv
+//! # interval_secs=900 start_secs=0
+//! time_secs,value
+//! 0,0.000000
+//! 900,0.012345
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt::Write as _;
+use vb_stats::TimeSeries;
+
+/// Errors arising when decoding a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceIoError {
+    /// The header line is missing or malformed.
+    BadHeader(String),
+    /// A data line could not be parsed.
+    BadLine {
+        /// 1-based line number in the input.
+        line_no: usize,
+        /// The offending line's content.
+        content: String,
+    },
+    /// Binary payload truncated or wrong magic.
+    BadBinary(&'static str),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::BadHeader(h) => write!(f, "bad trace header: {h}"),
+            TraceIoError::BadLine { line_no, content } => {
+                write!(f, "bad trace line {line_no}: {content}")
+            }
+            TraceIoError::BadBinary(why) => write!(f, "bad binary trace: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+/// Serialize a series to CSV.
+pub fn to_csv(series: &TimeSeries) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# interval_secs={} start_secs={}",
+        series.interval_secs, series.start_secs
+    );
+    out.push_str("time_secs,value\n");
+    for (i, v) in series.values.iter().enumerate() {
+        let _ = writeln!(out, "{},{:.6}", series.time_of(i), v);
+    }
+    out
+}
+
+/// Parse a series from the CSV produced by [`to_csv`].
+pub fn from_csv(text: &str) -> Result<TimeSeries, TraceIoError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| TraceIoError::BadHeader("empty input".into()))?;
+    let (interval_secs, start_secs) = parse_header(header)?;
+
+    let mut values = Vec::new();
+    for (line_no, line) in lines {
+        let line = line.trim();
+        if line.is_empty() || line == "time_secs,value" {
+            continue;
+        }
+        let value = line
+            .split(',')
+            .nth(1)
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .ok_or_else(|| TraceIoError::BadLine {
+                line_no: line_no + 1,
+                content: line.to_string(),
+            })?;
+        values.push(value);
+    }
+    Ok(TimeSeries {
+        start_secs,
+        interval_secs,
+        values,
+    })
+}
+
+fn parse_header(header: &str) -> Result<(u64, u64), TraceIoError> {
+    let bad = || TraceIoError::BadHeader(header.to_string());
+    if !header.starts_with('#') {
+        return Err(bad());
+    }
+    let mut interval = None;
+    let mut start = None;
+    for tok in header.trim_start_matches('#').split_whitespace() {
+        if let Some(v) = tok.strip_prefix("interval_secs=") {
+            interval = v.parse::<u64>().ok();
+        } else if let Some(v) = tok.strip_prefix("start_secs=") {
+            start = v.parse::<u64>().ok();
+        }
+    }
+    match (interval, start) {
+        (Some(i), Some(s)) if i > 0 => Ok((i, s)),
+        _ => Err(bad()),
+    }
+}
+
+const BINARY_MAGIC: u32 = 0x5642_5452; // "VBTR"
+
+/// Encode a series into the compact binary form:
+/// `magic u32 | start u64 | interval u64 | len u64 | f64 × len`
+/// (all little-endian).
+pub fn to_binary(series: &TimeSeries) -> Bytes {
+    let mut buf = BytesMut::with_capacity(28 + 8 * series.len());
+    buf.put_u32_le(BINARY_MAGIC);
+    buf.put_u64_le(series.start_secs);
+    buf.put_u64_le(series.interval_secs);
+    buf.put_u64_le(series.len() as u64);
+    for &v in &series.values {
+        buf.put_f64_le(v);
+    }
+    buf.freeze()
+}
+
+/// Decode the binary form produced by [`to_binary`].
+pub fn from_binary(mut data: Bytes) -> Result<TimeSeries, TraceIoError> {
+    if data.remaining() < 28 {
+        return Err(TraceIoError::BadBinary("truncated header"));
+    }
+    if data.get_u32_le() != BINARY_MAGIC {
+        return Err(TraceIoError::BadBinary("wrong magic"));
+    }
+    let start_secs = data.get_u64_le();
+    let interval_secs = data.get_u64_le();
+    if interval_secs == 0 {
+        return Err(TraceIoError::BadBinary("zero interval"));
+    }
+    let len = data.get_u64_le() as usize;
+    if data.remaining() < len * 8 {
+        return Err(TraceIoError::BadBinary("truncated payload"));
+    }
+    let mut values = Vec::with_capacity(len);
+    for _ in 0..len {
+        values.push(data.get_f64_le());
+    }
+    Ok(TimeSeries {
+        start_secs,
+        interval_secs,
+        values,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TimeSeries {
+        TimeSeries::with_start(900, 900, vec![0.0, 0.25, 0.5, 1.0])
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let s = sample();
+        let parsed = from_csv(&to_csv(&s)).unwrap();
+        assert_eq!(parsed.start_secs, s.start_secs);
+        assert_eq!(parsed.interval_secs, s.interval_secs);
+        assert_eq!(parsed.values, s.values);
+    }
+
+    #[test]
+    fn csv_contains_wall_clock_times() {
+        let csv = to_csv(&sample());
+        assert!(csv.contains("900,0.000000"));
+        assert!(csv.contains("1800,0.250000"));
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(matches!(from_csv(""), Err(TraceIoError::BadHeader(_))));
+        assert!(matches!(
+            from_csv("not a header\n1,2"),
+            Err(TraceIoError::BadHeader(_))
+        ));
+        let bad_line = "# interval_secs=900 start_secs=0\ntime_secs,value\nxyz";
+        assert!(matches!(
+            from_csv(bad_line),
+            Err(TraceIoError::BadLine { .. })
+        ));
+    }
+
+    #[test]
+    fn csv_rejects_zero_interval() {
+        assert!(from_csv("# interval_secs=0 start_secs=0\n").is_err());
+    }
+
+    #[test]
+    fn binary_round_trips() {
+        let s = sample();
+        assert_eq!(from_binary(to_binary(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let bytes = to_binary(&sample());
+        assert!(matches!(
+            from_binary(bytes.slice(0..10)),
+            Err(TraceIoError::BadBinary("truncated header"))
+        ));
+        assert!(matches!(
+            from_binary(bytes.slice(0..30)),
+            Err(TraceIoError::BadBinary("truncated payload"))
+        ));
+        let mut corrupted = BytesMut::from(&bytes[..]);
+        corrupted[0] ^= 0xff;
+        assert!(matches!(
+            from_binary(corrupted.freeze()),
+            Err(TraceIoError::BadBinary("wrong magic"))
+        ));
+    }
+
+    #[test]
+    fn errors_display_usefully() {
+        let e = TraceIoError::BadLine {
+            line_no: 3,
+            content: "x".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+}
+
+/// Serialize a whole dataset — several sites' aligned normalized traces —
+/// into one CSV, the shape real ELIA/EMHIRES exports come in:
+///
+/// ```csv
+/// # interval_secs=900 start_secs=0
+/// # site NO-solar solar 59.3 10.5 400
+/// # site UK-wind wind 53.5 -1.0 400
+/// time_secs,NO-solar,UK-wind
+/// 0,0.000000,0.412000
+/// ```
+///
+/// # Panics
+/// Panics if the vectors differ in length or the traces are misaligned.
+pub fn dataset_to_csv(sites: &[crate::Site], traces: &[TimeSeries]) -> String {
+    assert_eq!(sites.len(), traces.len(), "one trace per site");
+    assert!(!traces.is_empty(), "empty dataset");
+    let first = &traces[0];
+    for t in traces {
+        assert_eq!(t.interval_secs, first.interval_secs, "interval mismatch");
+        assert_eq!(t.start_secs, first.start_secs, "start mismatch");
+        assert_eq!(t.len(), first.len(), "length mismatch");
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# interval_secs={} start_secs={}",
+        first.interval_secs, first.start_secs
+    );
+    for s in sites {
+        let _ = writeln!(
+            out,
+            "# site {} {} {} {} {}",
+            s.name,
+            s.kind.label(),
+            s.lat,
+            s.lon,
+            s.capacity_mw
+        );
+    }
+    out.push_str("time_secs");
+    for s in sites {
+        let _ = write!(out, ",{}", s.name);
+    }
+    out.push('\n');
+    for i in 0..first.len() {
+        let _ = write!(out, "{}", first.time_of(i));
+        for t in traces {
+            let _ = write!(out, ",{:.6}", t.values[i]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse the dataset CSV produced by [`dataset_to_csv`] (or hand-built
+/// from a real dataset export) back into sites and aligned traces.
+pub fn dataset_from_csv(text: &str) -> Result<(Vec<crate::Site>, Vec<TimeSeries>), TraceIoError> {
+    use crate::{Site, SourceKind};
+    let mut lines = text.lines().enumerate().peekable();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| TraceIoError::BadHeader("empty input".into()))?;
+    let (interval_secs, start_secs) = parse_header(header)?;
+
+    let mut sites: Vec<Site> = Vec::new();
+    while let Some((_, line)) = lines.peek() {
+        let Some(rest) = line.strip_prefix("# site ") else {
+            break;
+        };
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        let bad = || TraceIoError::BadHeader(line.to_string());
+        if parts.len() != 5 {
+            return Err(bad());
+        }
+        let kind = match parts[1] {
+            "solar" => SourceKind::Solar,
+            "wind" => SourceKind::Wind,
+            _ => return Err(bad()),
+        };
+        let lat: f64 = parts[2].parse().map_err(|_| bad())?;
+        let lon: f64 = parts[3].parse().map_err(|_| bad())?;
+        let cap: f64 = parts[4].parse().map_err(|_| bad())?;
+        let site = match kind {
+            SourceKind::Solar => Site::solar(parts[0], lat, lon),
+            SourceKind::Wind => Site::wind(parts[0], lat, lon),
+        }
+        .with_capacity(cap);
+        sites.push(site);
+        lines.next();
+    }
+    if sites.is_empty() {
+        return Err(TraceIoError::BadHeader("no '# site' lines".into()));
+    }
+
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); sites.len()];
+    for (line_no, line) in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("time_secs") {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != sites.len() + 1 {
+            return Err(TraceIoError::BadLine {
+                line_no: line_no + 1,
+                content: line.to_string(),
+            });
+        }
+        for (col, cell) in columns.iter_mut().zip(&cells[1..]) {
+            let v: f64 = cell.trim().parse().map_err(|_| TraceIoError::BadLine {
+                line_no: line_no + 1,
+                content: line.to_string(),
+            })?;
+            col.push(v);
+        }
+    }
+    let traces = columns
+        .into_iter()
+        .map(|values| TimeSeries {
+            start_secs,
+            interval_secs,
+            values,
+        })
+        .collect();
+    Ok((sites, traces))
+}
+
+#[cfg(test)]
+mod dataset_tests {
+    use super::*;
+    use crate::Site;
+
+    fn sample() -> (Vec<Site>, Vec<TimeSeries>) {
+        let sites = vec![
+            Site::solar("NO-solar", 59.3, 10.5),
+            Site::wind("UK-wind", 53.5, -1.0).with_capacity(250.0),
+        ];
+        let traces = vec![
+            TimeSeries::with_start(86_400, 900, vec![0.0, 0.25, 0.5]),
+            TimeSeries::with_start(86_400, 900, vec![0.4, 0.41, 0.39]),
+        ];
+        (sites, traces)
+    }
+
+    #[test]
+    fn dataset_round_trips() {
+        let (sites, traces) = sample();
+        let csv = dataset_to_csv(&sites, &traces);
+        let (sites2, traces2) = dataset_from_csv(&csv).unwrap();
+        assert_eq!(sites2, sites);
+        assert_eq!(traces2.len(), 2);
+        for (a, b) in traces.iter().zip(&traces2) {
+            assert_eq!(a.start_secs, b.start_secs);
+            assert_eq!(a.interval_secs, b.interval_secs);
+            for (x, y) in a.values.iter().zip(&b.values) {
+                assert!((x - y).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_preserves_capacity_and_kind() {
+        let (sites, traces) = sample();
+        let csv = dataset_to_csv(&sites, &traces);
+        let (sites2, _) = dataset_from_csv(&csv).unwrap();
+        assert_eq!(sites2[1].capacity_mw, 250.0);
+        assert_eq!(sites2[0].kind, crate::SourceKind::Solar);
+    }
+
+    #[test]
+    fn dataset_rejects_malformed_inputs() {
+        assert!(dataset_from_csv("").is_err());
+        assert!(dataset_from_csv("# interval_secs=900 start_secs=0\nno sites").is_err());
+        let bad_row =
+            "# interval_secs=900 start_secs=0\n# site a solar 1 2 3\ntime_secs,a\n0,0.1,0.2";
+        assert!(matches!(
+            dataset_from_csv(bad_row),
+            Err(TraceIoError::BadLine { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dataset_rejects_misaligned_traces() {
+        let (sites, mut traces) = sample();
+        traces[1].values.pop();
+        dataset_to_csv(&sites, &traces);
+    }
+}

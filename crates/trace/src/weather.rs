@@ -1,0 +1,334 @@
+//! Spatially correlated stochastic weather drivers.
+//!
+//! §2.3 of the paper rests on one empirical fact: renewable production at
+//! different sites is "often independent and/or complimentary", because
+//! of (a) different sources, (b) micro-climates/weather and (c) time of
+//! day. To reproduce that with synthetic traces, all sites draw their
+//! randomness from one shared [`WeatherField`]:
+//!
+//! * The field owns a grid of *anchor* processes covering Europe. A
+//!   site's driver is a distance-weighted blend of AR(1)-smoothed anchor
+//!   processes plus an idiosyncratic local component, so correlation
+//!   decays smoothly with distance (micro-climate effect).
+//! * Anchor processes are read with a longitude-dependent time lag,
+//!   mimicking weather systems advected west → east across the continent.
+//!   Distant sites therefore see the same front at different times — the
+//!   complementary UK-wind / PT-wind pattern of Figure 3a. The lag is
+//!   applied to the *smoothed* anchor processes, so nearby sites (whose
+//!   lags differ by minutes) stay strongly correlated.
+//! * Underlying innovations are generated *counter-based* (hash of
+//!   `(seed, channel, anchor, sample index)` → normal deviate), so any
+//!   time window of any site can be produced independently and
+//!   reproducibly, without storing state.
+
+use crate::site::{haversine_km, Site};
+
+/// Independent driver channels. Using distinct channels guarantees, e.g.,
+/// that cloud cover and wind speed are uncorrelated even at one location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Channel {
+    /// Cloud transmittance driver (solar sites).
+    Cloud,
+    /// Slow synoptic wind regime driver.
+    WindRegime,
+    /// Fast wind turbulence driver.
+    WindGust,
+}
+
+impl Channel {
+    fn id(self) -> u64 {
+        match self {
+            Channel::Cloud => 1,
+            Channel::WindRegime => 2,
+            Channel::WindGust => 3,
+        }
+    }
+
+    /// Spatial correlation length in kilometres. Synoptic systems span
+    /// more of the map than individual cloud fields or gusts.
+    fn correlation_km(self) -> f64 {
+        match self {
+            Channel::Cloud => 300.0,
+            Channel::WindRegime => 600.0,
+            Channel::WindGust => 150.0,
+        }
+    }
+
+    /// Is this channel advected with the prevailing westerlies?
+    fn advected(self) -> bool {
+        matches!(self, Channel::WindRegime | Channel::Cloud)
+    }
+}
+
+/// Shared, seeded source of spatially correlated noise.
+#[derive(Debug, Clone)]
+pub struct WeatherField {
+    seed: u64,
+    anchors: Vec<(f64, f64)>, // (lat, lon)
+}
+
+/// Eastward speed of weather systems, in degrees of longitude per day.
+/// ~8°/day corresponds to a synoptic system crossing Europe in 4–5 days.
+const ADVECTION_DEG_PER_DAY: f64 = 8.0;
+
+/// Fraction of a site's driver variance that is purely local
+/// (micro-climate), never shared with any other site.
+const LOCAL_VARIANCE: f64 = 0.30;
+
+/// Anchor weights below this are skipped entirely.
+const MIN_WEIGHT: f64 = 1e-3;
+
+impl WeatherField {
+    /// Build a field over the European anchor grid.
+    pub fn new(seed: u64) -> WeatherField {
+        let mut anchors = Vec::new();
+        let mut lat = 36.0;
+        while lat <= 66.0 {
+            let mut lon = -10.0;
+            while lon <= 26.0 {
+                anchors.push((lat, lon));
+                lon += 6.0;
+            }
+            lat += 6.0;
+        }
+        WeatherField { seed, anchors }
+    }
+
+    /// The seed this field was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// AR(1)-smoothed, spatially correlated driver series for `site`:
+    /// per-sample persistence `rho`, unit marginal variance, covering
+    /// absolute sample indices `[t0, t0 + n)` (15-minute samples from the
+    /// trace epoch).
+    ///
+    /// Identical arguments always return identical values; nearby sites
+    /// on the same channel are strongly correlated, distant sites nearly
+    /// independent, and (on advected channels) eastern sites lag western
+    /// ones. Windows are consistent: overlapping windows agree on the
+    /// overlap.
+    pub fn ar1(&self, channel: Channel, site: &Site, rho: f64, t0: i64, n: usize) -> Vec<f64> {
+        assert!((0.0..1.0).contains(&rho), "rho must be in [0, 1)");
+
+        let corr_km = channel.correlation_km();
+        let samples_per_degree = if channel.advected() {
+            96.0 / ADVECTION_DEG_PER_DAY
+        } else {
+            0.0
+        };
+
+        // Gather contributing anchors and their weights/lags.
+        let mut picks: Vec<(usize, f64, i64)> = Vec::new();
+        for (idx, &(alat, alon)) in self.anchors.iter().enumerate() {
+            let d = haversine_km(site.lat, site.lon, alat, alon);
+            let w = (-d / corr_km).exp();
+            if w >= MIN_WEIGHT {
+                let lag = ((site.lon - alon) * samples_per_degree).round() as i64;
+                picks.push((idx, w, lag));
+            }
+        }
+
+        let w2: f64 = picks.iter().map(|&(_, w, _)| w * w).sum();
+        let shared_scale = if w2 > 0.0 {
+            ((1.0 - LOCAL_VARIANCE) / w2).sqrt()
+        } else {
+            0.0
+        };
+
+        let mut out = vec![0.0; n];
+        for &(idx, w, lag) in &picks {
+            let series = ar1_stream(self.seed, channel.id(), idx as u64, rho, t0 - lag, n);
+            for (o, s) in out.iter_mut().zip(&series) {
+                *o += shared_scale * w * s;
+            }
+        }
+        // Idiosyncratic local component keyed by the site identity.
+        let local = ar1_stream(
+            self.seed,
+            channel.id() ^ 0xdead_beef,
+            site.stream_id(),
+            rho,
+            t0,
+            n,
+        );
+        for (o, l) in out.iter_mut().zip(&local) {
+            *o += LOCAL_VARIANCE.sqrt() * l;
+        }
+        out
+    }
+}
+
+/// AR(1)-filter the counter-based white noise of one stream, producing
+/// unit-variance output over `[t0, t0 + n)`. A warm-up long enough for
+/// `rho^warmup < 1e-13` makes the result independent of the window start.
+fn ar1_stream(seed: u64, channel: u64, stream: u64, rho: f64, t0: i64, n: usize) -> Vec<f64> {
+    let warmup = if rho > 0.0 {
+        ((30.0 / (1.0 - rho)).ceil() as usize).min(60_000)
+    } else {
+        0
+    };
+    let innov = (1.0 - rho * rho).sqrt();
+    let mut y = 0.0;
+    let mut out = Vec::with_capacity(n);
+    for k in 0..(warmup + n) {
+        let t = t0 - warmup as i64 + k as i64;
+        y = rho * y + innov * normal(seed, channel, stream, t);
+        if k >= warmup {
+            out.push(y);
+        }
+    }
+    out
+}
+
+/// Counter-based standard normal deviate: hash the coordinates into two
+/// uniforms and apply Box–Muller. Pure function — random access in time.
+fn normal(seed: u64, channel: u64, stream: u64, t: i64) -> f64 {
+    let u1 = uniform(mix4(
+        seed,
+        channel,
+        stream,
+        t as u64 ^ 0x9e37_79b9_7f4a_7c15,
+    ));
+    let u2 = uniform(mix4(
+        seed,
+        channel,
+        stream,
+        (t as u64).wrapping_add(0x5851_f42d_4c95_7f2d),
+    ));
+    // Guard the log: u1 in (0,1].
+    let r = (-2.0 * (1.0 - u1).max(1e-12).ln()).sqrt();
+    r * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Map a 64-bit hash to a uniform in [0, 1).
+fn uniform(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// SplitMix64-style mixing of four words.
+fn mix4(a: u64, b: u64, c: u64, d: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(b.rotate_left(17))
+        .wrapping_add(c.rotate_left(31))
+        .wrapping_add(d.rotate_left(47));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vb_stats::{mean, std_dev};
+
+    fn corr(a: &[f64], b: &[f64]) -> f64 {
+        let (ma, mb) = (mean(a), mean(b));
+        let num: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+        let da: f64 = a.iter().map(|x| (x - ma).powi(2)).sum::<f64>().sqrt();
+        let db: f64 = b.iter().map(|y| (y - mb).powi(2)).sum::<f64>().sqrt();
+        num / (da * db)
+    }
+
+    #[test]
+    fn ar1_is_deterministic() {
+        let f = WeatherField::new(3);
+        let s = Site::solar("a", 50.0, 5.0);
+        let x = f.ar1(Channel::Cloud, &s, 0.5, 17, 50);
+        let y = f.ar1(Channel::Cloud, &s, 0.5, 17, 50);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn ar1_is_roughly_standard_normal() {
+        let f = WeatherField::new(11);
+        let s = Site::solar("a", 50.0, 5.0);
+        let xs = f.ar1(Channel::Cloud, &s, 0.3, 0, 4_000);
+        assert!(mean(&xs).abs() < 0.15, "mean {}", mean(&xs));
+        let sd = std_dev(&xs);
+        assert!((sd - 1.0).abs() < 0.15, "std {sd}");
+    }
+
+    #[test]
+    fn correlation_decays_with_distance() {
+        let f = WeatherField::new(5);
+        let a = Site::solar("a", 50.0, 5.0);
+        let near = Site::solar("b", 50.3, 5.3);
+        let far = Site::solar("c", 38.0, -9.0);
+        // Probe the slow synoptic scale: advection lags differ by a few
+        // samples between nearby sites, which decorrelates fast noise but
+        // must preserve slow-driver correlation.
+        let xa = f.ar1(Channel::Cloud, &a, 0.95, 0, 3_000);
+        let c_near = corr(&xa, &f.ar1(Channel::Cloud, &near, 0.95, 0, 3_000));
+        let c_far = corr(&xa, &f.ar1(Channel::Cloud, &far, 0.95, 0, 3_000));
+        assert!(c_near > 0.4, "near correlation {c_near}");
+        assert!(c_far < 0.3, "far correlation {c_far}");
+        assert!(c_near > c_far + 0.2);
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let f = WeatherField::new(7);
+        let s = Site::wind("w", 52.0, 0.0);
+        let a = f.ar1(Channel::Cloud, &s, 0.5, 0, 3_000);
+        let b = f.ar1(Channel::WindRegime, &s, 0.5, 0, 3_000);
+        assert!(corr(&a, &b).abs() < 0.12);
+    }
+
+    #[test]
+    fn ar1_is_serially_correlated() {
+        let f = WeatherField::new(9);
+        let s = Site::wind("w", 52.0, 0.0);
+        let xs = f.ar1(Channel::WindGust, &s, 0.9, 0, 4_000);
+        let lag1 = corr(&xs[..xs.len() - 1], &xs[1..]);
+        assert!((lag1 - 0.9).abs() < 0.08, "lag-1 autocorr {lag1}");
+    }
+
+    #[test]
+    fn ar1_windows_are_consistent() {
+        // The same absolute instant must get the same value no matter
+        // which window it is generated in.
+        let f = WeatherField::new(13);
+        let s = Site::wind("w", 52.0, 0.0);
+        let long = f.ar1(Channel::WindRegime, &s, 0.8, 0, 300);
+        let shifted = f.ar1(Channel::WindRegime, &s, 0.8, 100, 200);
+        for i in 0..200 {
+            assert!(
+                (long[100 + i] - shifted[i]).abs() < 1e-9,
+                "mismatch at {i}: {} vs {}",
+                long[100 + i],
+                shifted[i]
+            );
+        }
+    }
+
+    #[test]
+    fn advection_lags_eastern_sites() {
+        // A site further east should correlate best with a *delayed* copy
+        // of a western site's driver.
+        let f = WeatherField::new(21);
+        let west = Site::wind("w-west", 52.0, -4.0);
+        let east = Site::wind("w-east", 52.0, 4.0);
+        let n = 4_000;
+        let xw = f.ar1(Channel::WindRegime, &west, 0.95, 0, n);
+        let xe = f.ar1(Channel::WindRegime, &east, 0.95, 0, n);
+        // Expected lag: 8 degrees * 12 samples/degree = 96 samples.
+        let at = |lag: usize| corr(&xw[..n - 96], &xe[lag..n - 96 + lag]);
+        assert!(
+            at(96) > at(0),
+            "delayed correlation {} should beat instant {}",
+            at(96),
+            at(0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be in [0, 1)")]
+    fn ar1_rejects_bad_rho() {
+        let f = WeatherField::new(1);
+        let s = Site::wind("w", 52.0, 0.0);
+        f.ar1(Channel::WindGust, &s, 1.0, 0, 10);
+    }
+}

@@ -1,0 +1,128 @@
+//! Calibration tests: pin the synthetic generators to the statistics the
+//! paper reports for the real ELIA/EMHIRES data (§2.2, Figure 2b and
+//! Figure 5). These are the contract that makes the substitution of
+//! synthetic traces for the proprietary datasets defensible — if a model
+//! change drifts out of the paper's bands, these tests fail.
+
+use vb_stats::{mape_above, Summary};
+use vb_trace::{forecast_for, Catalog, Horizon};
+
+/// MAPE filter threshold: 2 % of capacity (see `vb_stats::mape_above`).
+const MAPE_FLOOR: f64 = 0.02;
+
+#[test]
+fn solar_year_statistics_match_figure_2b() {
+    let c = Catalog::europe(42);
+    let t = c.trace("BE-solar", 0, 365);
+    let s = Summary::of(&t.values);
+    let zeros = t.values.iter().filter(|&&v| v == 0.0).count() as f64 / t.len() as f64;
+
+    // "over 50% zero values for solar energy due to night times"
+    assert!(zeros > 0.50 && zeros < 0.68, "zero fraction {zeros}");
+    // "The tail is also high, with 99th divided by 75th percentile ratios
+    // of 4× for solar" — we accept 3.5–8× (synthetic Belgium vs ELIA's
+    // 25-site aggregate, which is smoother).
+    let tail = s.tail_ratio();
+    assert!((3.5..8.0).contains(&tail), "solar p99/p75 {tail}");
+    // Plausible capacity factor for Belgian solar (~10 %).
+    assert!(
+        (0.06..0.16).contains(&s.mean),
+        "solar capacity factor {}",
+        s.mean
+    );
+    // Sunny-day peak near the paper's 77 %.
+    assert!(s.max > 0.70 && s.max <= 1.0, "solar peak {}", s.max);
+}
+
+#[test]
+fn wind_year_statistics_match_figure_2b() {
+    let c = Catalog::europe(42);
+    let t = c.trace("BE-wind", 0, 365);
+    let s = Summary::of(&t.values);
+    let zeros = t.values.iter().filter(|&&v| v == 0.0).count() as f64 / t.len() as f64;
+
+    // "median values reaching at most 20% the peak capacity for wind"
+    assert!(s.p50 <= 0.22, "wind median {}", s.p50);
+    // "...and 2× for wind" (p99/p75), accept 1.5–3×.
+    let tail = s.tail_ratio();
+    assert!((1.5..3.0).contains(&tail), "wind p99/p75 {tail}");
+    // Fig 2a: wind "rarely go[es] down to zero".
+    assert!(zeros < 0.20, "wind zero fraction {zeros}");
+    // Wind hits rated power sometimes.
+    assert!(s.max > 0.9, "wind peak {}", s.max);
+}
+
+#[test]
+fn forecast_mape_matches_figure_5_bands() {
+    let c = Catalog::europe(42);
+    for (site_name, bands) in [
+        // (3h, day, week) target bands with modest slack around the
+        // paper's 8.5–9 %, 18–25 %, 44 %/75 %.
+        ("BE-solar", [(7.0, 11.0), (16.0, 27.0), (36.0, 52.0)]),
+        ("BE-wind", [(7.0, 11.0), (16.0, 27.0), (60.0, 90.0)]),
+    ] {
+        let site = c.get(site_name).unwrap();
+        let actual = c.trace(site_name, 0, 365);
+        for (h, (lo, hi)) in Horizon::all().into_iter().zip(bands) {
+            let f = forecast_for(&actual, site, h, c.field());
+            let m = mape_above(&actual.values, &f.values, MAPE_FLOOR);
+            assert!(
+                (lo..hi).contains(&m),
+                "{site_name} {}: MAPE {m:.1}% outside [{lo}, {hi}]",
+                h.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn forecast_quality_ranks_by_horizon_everywhere() {
+    // Fig 5's qualitative claim must hold at every catalog site, not just
+    // the calibration site.
+    let c = Catalog::europe(7);
+    for site in c.sites().iter().take(8) {
+        let actual = c.trace(&site.name, 30, 60);
+        let mapes: Vec<f64> = Horizon::all()
+            .into_iter()
+            .map(|h| {
+                let f = forecast_for(&actual, site, h, c.field());
+                mape_above(&actual.values, &f.values, MAPE_FLOOR)
+            })
+            .collect();
+        assert!(
+            mapes[0] < mapes[1] && mapes[1] < mapes[2],
+            "{}: {mapes:?}",
+            site.name
+        );
+    }
+}
+
+#[test]
+fn seasonality_winter_solar_is_much_weaker() {
+    // §2.2: "peak production in winter is ≈75% less than summer".
+    let c = Catalog::europe(42);
+    let summer = c.trace("BE-solar", 160, 30);
+    let winter = c.trace("BE-solar", 340, 30);
+    let speak = summer.max().unwrap();
+    let wpeak = winter.max().unwrap();
+    assert!(
+        wpeak < 0.55 * speak,
+        "winter peak {wpeak} vs summer peak {speak}"
+    );
+}
+
+#[test]
+fn different_sources_at_one_location_are_complementary() {
+    // §2.3 reason (a): wind blows at night when solar is dark, so the
+    // combined signal is steadier than solar alone.
+    let c = Catalog::europe(42);
+    let solar = c.trace("BE-solar", 90, 30);
+    let wind = c.trace("BE-wind", 90, 30);
+    let combined = solar.add(&wind).scale(0.5);
+    let cov_solar = Summary::of(&solar.values).cov;
+    let cov_combined = Summary::of(&combined.values).cov;
+    assert!(
+        cov_combined < 0.75 * cov_solar,
+        "combined cov {cov_combined} vs solar cov {cov_solar}"
+    );
+}

@@ -1,0 +1,73 @@
+//! Forecast explorer: how predictable is renewable power, and what does
+//! the co-scheduler actually see? Regenerates the Fig 5 numbers at any
+//! site and shows the composite forecast (3 h / day / week products) a
+//! planning epoch would use.
+//!
+//! ```sh
+//! cargo run --release --example forecast_explorer [site-name]
+//! ```
+
+use vb_stats::{mape_above, Summary};
+use vb_trace::{forecast_for, Catalog, Horizon};
+
+fn main() {
+    let site_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BE-wind".to_string());
+    let catalog = Catalog::europe(42);
+    let Some(site) = catalog.get(&site_name) else {
+        eprintln!("unknown site {site_name}; available sites:");
+        for s in catalog.sites() {
+            eprintln!("  {} ({}, {:.1}N {:.1}E)", s.name, s.kind, s.lat, s.lon);
+        }
+        std::process::exit(1);
+    };
+
+    println!(
+        "site {site_name} ({}, {:.1}N {:.1}E, {:.0} MW)\n",
+        site.kind, site.lat, site.lon, site.capacity_mw
+    );
+
+    // Year-long forecast quality per horizon (Figure 5).
+    let year = catalog.trace(&site_name, 0, 365);
+    println!("forecast quality over one year (MAPE over samples >2% of capacity):");
+    for h in Horizon::all() {
+        let f = forecast_for(&year, site, h, catalog.field());
+        println!(
+            "  {:<12} MAPE {:>5.1}%",
+            h.label(),
+            mape_above(&year.values, &f.values, 0.02)
+        );
+    }
+
+    // What a planning epoch sees: the composite forecast stitched from
+    // the freshest product per lead time.
+    let window = catalog.trace(&site_name, 150, 8);
+    let f3 = forecast_for(&window, site, Horizon::Hours3, catalog.field());
+    let fd = forecast_for(&window, site, Horizon::DayAhead, catalog.field());
+    let fw = forecast_for(&window, site, Horizon::WeekAhead, catalog.field());
+    println!("\ncomposite forecast from an epoch at hour 0 (3-hour means):");
+    println!("lead(h)  actual  forecast  product");
+    for b in 0..24 {
+        let lo = b * 12;
+        let hi = lo + 12;
+        let (product, series) = if lo < 12 {
+            ("3h-ahead", &f3)
+        } else if lo < 96 {
+            ("day-ahead", &fd)
+        } else {
+            ("week-ahead", &fw)
+        };
+        let actual = vb_stats::mean(&window.values[lo..hi]);
+        let fc = vb_stats::mean(&series.values[lo..hi]);
+        println!("{:>7}  {actual:>6.3}  {fc:>8.3}  {product}", b * 3);
+    }
+
+    // How sharp are the changes the scheduler must anticipate?
+    let deltas: Vec<f64> = year.diff().iter().map(|d| d.abs()).collect();
+    let s = Summary::of(&deltas);
+    println!(
+        "\n15-min power changes: median {:.3}, p99 {:.3} of capacity (sharp changes are the migration triggers, §3.1)",
+        s.p50, s.p99
+    );
+}

@@ -1,0 +1,75 @@
+//! Scheduler comparison: the four §3.1 policies head-to-head on one
+//! multi-VB group — a compact version of the Table 1 experiment with a
+//! WAN-impact readout.
+//!
+//! ```sh
+//! cargo run --release --example scheduler_comparison
+//! ```
+
+use vb_net::{LinkSimulator, WanModel};
+use vb_sched::{GreedyPolicy, GroupSim, GroupSimConfig, MipConfig, MipPolicy, Policy};
+use vb_stats::report::{thousands, Table};
+use vb_trace::Catalog;
+
+fn main() {
+    let catalog = Catalog::europe(42);
+    let names = ["NO-solar", "UK-wind", "PT-wind"];
+    let cfg = GroupSimConfig::default();
+
+    let mut policies: Vec<Box<dyn Policy>> = vec![
+        Box::new(GreedyPolicy::new()),
+        Box::new(GreedyPolicy::most_headroom()),
+        Box::new(MipPolicy::new(MipConfig::mip_24h())),
+        Box::new(MipPolicy::new(MipConfig::mip())),
+        Box::new(MipPolicy::new(MipConfig::mip_peak())),
+    ];
+
+    println!(
+        "one week across {names:?} ({} cores/site, demand ~70% of mean power)\n",
+        cfg.cores_per_site
+    );
+    let mut table = Table::new(&[
+        "Policy",
+        "Total (GB)",
+        "p99 (GB)",
+        "Peak (GB)",
+        "Std",
+        "Quiet steps",
+        "Moves",
+        "Unavail (app-steps)",
+    ]);
+    let wan = WanModel::default();
+    let mut wan_rows = Vec::new();
+    for p in policies.iter_mut() {
+        let s = GroupSim::new(&catalog, &names, cfg.clone()).run(p.as_mut());
+        table.row(&[
+            s.policy.clone(),
+            thousands(s.total_gb),
+            thousands(s.p99_gb),
+            thousands(s.peak_gb),
+            thousands(s.std_gb),
+            format!("{:.0}%", 100.0 * s.zero_fraction),
+            s.preemptive_moves.to_string(),
+            s.unavailable_app_steps.to_string(),
+        ]);
+        // Drain this policy's transfer series through a 200 Gbps link.
+        let mut link = LinkSimulator::new(wan.site_link_gbps, 900.0);
+        let link_stats = link.run(&s.per_step_gb);
+        let worst_delay = link_stats
+            .iter()
+            .map(|l| l.worst_delay_intervals)
+            .max()
+            .unwrap_or(0);
+        let busy = wan.busy_fraction(&s.per_step_gb, 900.0);
+        wan_rows.push((s.policy.clone(), busy, worst_delay));
+    }
+    print!("{}", table.render());
+
+    println!("\nWAN impact at {} Gbps per site:", wan.site_link_gbps);
+    for (policy, busy, delay) in wan_rows {
+        println!(
+            "  {policy:<16} link busy {:>4.1}% of the time, worst transfer delay {delay} interval(s)",
+            100.0 * busy
+        );
+    }
+}

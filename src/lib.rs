@@ -1,0 +1,6 @@
+//! Facade crate for the Virtual Battery workspace: re-exports every
+//! sub-crate under one roof so downstream users can depend on a single
+//! package. See `vb_core` for the paper-level API.
+
+pub use vb_core;
+pub use vb_core::*;

@@ -1,0 +1,160 @@
+//! Property-based invariants spanning the workspace's core data
+//! structures: time-series algebra, energy decomposition, the purchase
+//! optimizer, CDFs, and the WAN/link models.
+
+use proptest::prelude::*;
+use virtual_battery::vb_core::{decompose, optimize_purchase};
+use virtual_battery::vb_net::LinkSimulator;
+use virtual_battery::vb_stats::{Cdf, Summary, TimeSeries};
+
+fn power_series() -> impl Strategy<Value = TimeSeries> {
+    proptest::collection::vec(0.0..500.0f64, 4..96).prop_map(|v| TimeSeries::new(900, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // --- TimeSeries algebra ---
+
+    #[test]
+    fn energy_is_linear_in_scaling(ts in power_series(), k in 0.0..10.0f64) {
+        let direct = ts.scale(k).energy();
+        prop_assert!((direct - ts.energy() * k).abs() < 1e-6 * (1.0 + direct.abs()));
+    }
+
+    #[test]
+    fn downsample_preserves_energy_for_divisible_lengths(ts in power_series()) {
+        let n = ts.len() - ts.len() % 4;
+        let trimmed = ts.slice(0, n);
+        if n > 0 {
+            let coarse = trimmed.downsample(4);
+            prop_assert!((coarse.energy() - trimmed.energy()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn upsample_then_downsample_is_identity(ts in power_series(), f in 1usize..5) {
+        // Interval must be divisible by the factor for upsample.
+        let ts = TimeSeries::new(900 * f as u64, ts.values);
+        let round = ts.upsample(f).downsample(f);
+        for (a, b) in ts.values.iter().zip(&round.values) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn window_min_is_a_lower_envelope(ts in power_series(), w in 1usize..20) {
+        let mins = ts.window_min(w);
+        for (i, &v) in ts.values.iter().enumerate() {
+            let win = i / w;
+            prop_assert!(mins.values[win] <= v + 1e-12);
+        }
+    }
+
+    // --- Energy decomposition ---
+
+    #[test]
+    fn decomposition_conserves_energy(ts in power_series(), w in 1usize..30) {
+        let b = decompose(&ts, w);
+        prop_assert!((b.total_mwh() - ts.energy()).abs() < 1e-6);
+        prop_assert!(b.stable_mwh >= -1e-12);
+        prop_assert!(b.variable_mwh >= -1e-12);
+        let f = b.stable_fraction() + b.variable_fraction();
+        prop_assert!(f < 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn finer_windows_never_lose_stable_energy(ts in power_series()) {
+        let coarse = decompose(&ts, ts.len().max(1)).stable_mwh;
+        let fine = decompose(&ts, 2).stable_mwh;
+        prop_assert!(fine >= coarse - 1e-9);
+    }
+
+    // --- Purchase optimizer ---
+
+    #[test]
+    fn purchase_respects_budget_and_improves_stable(
+        ts in power_series(),
+        budget in 0.0..2_000.0f64,
+        w in 2usize..30,
+    ) {
+        let plan = optimize_purchase(&ts, w, budget);
+        prop_assert!(plan.purchased_mwh <= budget + 1e-6);
+        prop_assert!(plan.stable_after_mwh >= plan.stable_before_mwh - 1e-9);
+        // The reported floors must dominate the window minima.
+        let mins = ts.window_min(w);
+        for (f, m) in plan.floor_mw.iter().zip(&mins.values) {
+            prop_assert!(*f >= *m - 1e-9);
+        }
+        // Purchase per sample is exactly floor deficit.
+        for (i, &p) in plan.purchased_mw.iter().enumerate() {
+            prop_assert!(p >= -1e-12);
+            let win = i / w;
+            let expect = (plan.floor_mw[win] - ts.values[i]).max(0.0);
+            prop_assert!((p - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn purchase_leverage_is_at_least_one_when_buying(ts in power_series(), w in 2usize..20) {
+        let plan = optimize_purchase(&ts, w, 500.0);
+        if plan.purchased_mwh > 1e-9 {
+            // Raising the floor by delta gains at least window_len × delta
+            // of stable energy while costing at most that much purchase.
+            prop_assert!(plan.leverage() >= 1.0 - 1e-9, "leverage {}", plan.leverage());
+        }
+    }
+
+    // --- CDFs and summaries ---
+
+    #[test]
+    fn cdf_quantiles_are_monotone_and_bracketed(
+        values in proptest::collection::vec(0.0..100.0f64, 1..200),
+    ) {
+        let cdf = Cdf::of(&values);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut prev = f64::NEG_INFINITY;
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let x = cdf.quantile(q);
+            prop_assert!(x >= prev - 1e-12, "quantiles must be monotone");
+            prop_assert!((min - 1e-12..=max + 1e-12).contains(&x));
+            prev = x;
+        }
+        // The extremes are exact, and everything is at or below the max.
+        prop_assert!((cdf.quantile(0.0) - min).abs() < 1e-12);
+        prop_assert!((cdf.quantile(1.0) - max).abs() < 1e-12);
+        prop_assert!((cdf.eval(max) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_orderings_hold(values in proptest::collection::vec(-50.0..50.0f64, 2..200)) {
+        let s = Summary::of(&values);
+        prop_assert!(s.min <= s.p25 + 1e-12);
+        prop_assert!(s.p25 <= s.p50 + 1e-12);
+        prop_assert!(s.p50 <= s.p75 + 1e-12);
+        prop_assert!(s.p75 <= s.p99 + 1e-12);
+        prop_assert!(s.p99 <= s.max + 1e-12);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.std >= 0.0);
+    }
+
+    // --- Link simulator ---
+
+    #[test]
+    fn link_conserves_volume_and_respects_capacity(
+        offered in proptest::collection::vec(0.0..50_000.0f64, 1..100),
+        gbps in 1.0..500.0f64,
+    ) {
+        let mut link = LinkSimulator::new(gbps, 900.0);
+        let stats = link.run(&offered);
+        let drained: f64 = stats.iter().map(|s| s.drained_gb).sum();
+        let total: f64 = offered.iter().sum();
+        prop_assert!((drained + link.backlog_gb() - total).abs() < 1e-3);
+        for s in &stats {
+            prop_assert!(s.drained_gb <= link.capacity_gb() + 1e-9);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&s.utilization));
+            prop_assert!(s.backlog_gb >= -1e-9);
+        }
+    }
+}

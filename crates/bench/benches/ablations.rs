@@ -168,7 +168,7 @@ fn ablate_subgraphs(catalog: &Catalog) {
 }
 
 fn main() {
-    let t0 = std::time::Instant::now();
+    let run = vb_bench::report::BenchRun::start("ablations");
     let catalog = Catalog::europe(vb_bench::DEFAULT_SEED);
     let cfg = GroupSimConfig::default();
     ablate_subgraphs(&catalog);
@@ -177,8 +177,5 @@ fn main() {
     ablate_peak_weight(&catalog, &cfg);
     ablate_util(&catalog);
     ablate_forecast_quality(&catalog, &cfg);
-    println!(
-        "\n[ablations completed in {:.1}s]",
-        t0.elapsed().as_secs_f64()
-    );
+    run.finish();
 }

@@ -158,14 +158,11 @@ fn energy_accounting(catalog: &Catalog) {
 }
 
 fn main() {
-    let t0 = std::time::Instant::now();
+    let run = vb_bench::report::BenchRun::start("extensions");
     let catalog = Catalog::europe(vb_bench::DEFAULT_SEED);
     battery_vs_multivb(&catalog);
     economics(&catalog);
     replication_vs_migration(&catalog);
     energy_accounting(&catalog);
-    println!(
-        "\n[extensions completed in {:.1}s]",
-        t0.elapsed().as_secs_f64()
-    );
+    run.finish();
 }

@@ -1,11 +1,8 @@
 //! Regenerates the paper artifact; see `vb_bench::fig4`.
 
 fn main() {
-    let t0 = std::time::Instant::now();
+    let run = vb_bench::report::BenchRun::start("fig4_network_overhead");
     let report = vb_bench::fig4::run(vb_bench::DEFAULT_SEED);
     vb_bench::fig4::print(&report);
-    println!(
-        "\n[fig4_network_overhead completed in {:.1}s]",
-        t0.elapsed().as_secs_f64()
-    );
+    run.finish();
 }

@@ -1,11 +1,8 @@
 //! Regenerates the paper artifact; see `vb_bench::table1`.
 
 fn main() {
-    let t0 = std::time::Instant::now();
+    let run = vb_bench::report::BenchRun::start("table1_policies");
     let report = vb_bench::table1::run(vb_bench::DEFAULT_SEED);
     vb_bench::table1::print(&report);
-    println!(
-        "\n[table1_policies completed in {:.1}s]",
-        t0.elapsed().as_secs_f64()
-    );
+    run.finish();
 }

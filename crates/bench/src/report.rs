@@ -1,0 +1,136 @@
+//! Run-report plumbing shared by every bench target.
+//!
+//! Each `benches/` main wraps its work in a [`BenchRun`]: telemetry is
+//! reset at the start so the captured [`vb_telemetry::RunReport`]
+//! describes exactly one artifact run, and `finish` serializes the
+//! report to JSONL next to the build artifacts (override the directory
+//! with `VB_REPORT_DIR`, or set it to the empty string to skip the
+//! file). Setting `VB_RUN_REPORT=1` additionally prints the span/counter
+//! summary to stdout — the gated replacement for the old ad-hoc
+//! "[target completed in Ns]" progress lines.
+
+use std::time::Instant;
+use vb_telemetry::RunReport;
+
+/// Scope of one bench-target execution.
+pub struct BenchRun {
+    name: &'static str,
+    t0: Instant,
+}
+
+impl BenchRun {
+    /// Start a run: clears any telemetry left over from module setup so
+    /// the final report covers this target alone.
+    pub fn start(name: &'static str) -> BenchRun {
+        vb_telemetry::reset();
+        vb_telemetry::event("bench.start", &[("target", name.into())]);
+        BenchRun {
+            name,
+            t0: Instant::now(),
+        }
+    }
+
+    /// Finish the run: capture the telemetry report, write it as JSONL,
+    /// and print the one-line completion notice (plus the full metric
+    /// summary when `VB_RUN_REPORT=1`).
+    pub fn finish(self) {
+        let elapsed = self.t0.elapsed().as_secs_f64();
+        vb_telemetry::event(
+            "bench.complete",
+            &[
+                ("target", self.name.into()),
+                ("elapsed_secs", elapsed.into()),
+            ],
+        );
+        let report = RunReport::capture(self.name);
+        let written = write_jsonl(&report);
+        if verbose() {
+            print_summary(&report);
+        }
+        match written {
+            Some(path) => println!(
+                "\n[{} completed in {elapsed:.1}s — report: {path} ({} events)]",
+                self.name,
+                report.events.len()
+            ),
+            None => println!("\n[{} completed in {elapsed:.1}s]", self.name),
+        }
+    }
+}
+
+fn verbose() -> bool {
+    std::env::var("VB_RUN_REPORT").is_ok_and(|v| v == "1")
+}
+
+/// Write the JSONL report under `VB_REPORT_DIR` (default
+/// `target/run-reports`); empty string disables the file.
+fn write_jsonl(report: &RunReport) -> Option<String> {
+    let dir = std::env::var("VB_REPORT_DIR").unwrap_or_else(|_| "target/run-reports".into());
+    if dir.is_empty() {
+        return None;
+    }
+    let path = format!("{dir}/{}.jsonl", report.name);
+    std::fs::create_dir_all(&dir).ok()?;
+    std::fs::write(&path, report.to_jsonl()).ok()?;
+    Some(path)
+}
+
+/// Human-readable span and counter summary (the `VB_RUN_REPORT=1` view).
+fn print_summary(report: &RunReport) {
+    let snap = &report.snapshot;
+    if !snap.spans.is_empty() {
+        println!("\n== telemetry: spans ==");
+        println!(
+            "{:<28} {:>10} {:>12} {:>12}",
+            "span", "count", "total", "mean"
+        );
+        for (name, stat) in &snap.spans {
+            println!(
+                "{name:<28} {:>10} {:>12} {:>12}",
+                stat.count,
+                fmt_ns(stat.total_ns),
+                fmt_ns(stat.mean_ns())
+            );
+        }
+    }
+    if !snap.counters.is_empty() || !snap.float_counters.is_empty() {
+        println!("\n== telemetry: counters ==");
+        for (name, value) in &snap.counters {
+            println!("{name:<36} {value:>14}");
+        }
+        for (name, value) in &snap.float_counters {
+            println!("{name:<36} {value:>14.2}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        println!("\n== telemetry: gauges ==");
+        for (name, value) in &snap.gauges {
+            println!("{name:<36} {value:>14.4}");
+        }
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ns_picks_sensible_units() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(1_500), "1.50µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

@@ -80,6 +80,7 @@ pub fn simulate(
     warmup_steps: usize,
     seed: u64,
 ) -> SimOutput {
+    let _span = vb_telemetry::span!("cluster.simulate");
     let mut cluster = Cluster::new(cfg);
     let mut workload = Workload::new(workload_cfg, seed);
 
@@ -95,12 +96,24 @@ pub fn simulate(
         cluster.step(1.0, &arrivals);
     }
 
-    let steps = power
+    let steps: Vec<StepStats> = power
         .values
         .iter()
         .map(|&p| {
             let arrivals = workload.step();
-            cluster.step(p, &arrivals)
+            let stats = cluster.step(p, &arrivals);
+            vb_telemetry::counter!("cluster.migrations_out").add(stats.migrations_out as u64);
+            vb_telemetry::counter!("cluster.migrations_in").add(stats.migrations_in as u64);
+            vb_telemetry::float_counter!("cluster.out_gb").add(stats.out_gb);
+            vb_telemetry::float_counter!("cluster.in_gb").add(stats.in_gb);
+            if stats.migrations_out > 0 || stats.hibernated > 0 {
+                // The power budget could not host the resident
+                // population: a genuine power deficit.
+                vb_telemetry::counter!("cluster.power_deficit_steps").inc();
+            }
+            vb_telemetry::gauge!("cluster.utilization").set(stats.utilization);
+            vb_telemetry::histogram!("cluster.step_out_gb").observe(stats.out_gb);
+            stats
         })
         .collect();
     SimOutput { steps }

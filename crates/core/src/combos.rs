@@ -6,7 +6,7 @@
 //! combinations improved cov by > 50 %."
 //!
 //! The sweep over all pairs is embarrassingly parallel; it is fanned out
-//! across CPU cores with `crossbeam` scoped threads.
+//! across CPU cores with `std::thread::scope`.
 
 use serde::{Deserialize, Serialize};
 use vb_stats::{coefficient_of_variation, TimeSeries};
@@ -144,17 +144,16 @@ fn parallel_map<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
         .min(n);
     let chunk = n.div_ceil(threads).max(1);
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (t, slot_chunk) in out.chunks_mut(chunk).enumerate() {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (k, slot) in slot_chunk.iter_mut().enumerate() {
                     *slot = Some(f(t * chunk + k));
                 }
             });
         }
-    })
-    .expect("worker panicked");
+    });
     out.into_iter().map(|s| s.expect("filled")).collect()
 }
 

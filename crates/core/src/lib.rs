@@ -35,7 +35,8 @@
 //! The substrates live in their own crates and are re-exported here:
 //! traces ([`vb_trace`]), statistics ([`vb_stats`]), the LP/MIP solver
 //! ([`vb_solver`]), the cluster simulator ([`vb_cluster`]), the network
-//! layer ([`vb_net`]) and the co-scheduler ([`vb_sched`]).
+//! layer ([`vb_net`]), the co-scheduler ([`vb_sched`]) and the
+//! observability layer ([`vb_telemetry`]).
 
 pub mod battery;
 pub mod combos;
@@ -58,4 +59,5 @@ pub use vb_net;
 pub use vb_sched;
 pub use vb_solver;
 pub use vb_stats;
+pub use vb_telemetry;
 pub use vb_trace;

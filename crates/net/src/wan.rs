@@ -80,17 +80,21 @@ impl WanModel {
             .iter()
             .map(|&gb| self.drain_secs(gb).min(interval_secs))
             .sum();
-        busy / (gb_per_interval.len() as f64 * interval_secs)
+        let fraction = busy / (gb_per_interval.len() as f64 * interval_secs);
+        vb_telemetry::gauge!("net.wan_busy_fraction").set(fraction);
+        fraction
     }
 
     /// Peak link utilization over a series of per-interval volumes: the
     /// largest fraction of the interval the link would need to run at
     /// full rate (can exceed 1.0 when the link is overwhelmed).
     pub fn peak_utilization(&self, gb_per_interval: &[f64], interval_secs: f64) -> f64 {
-        gb_per_interval
+        let peak = gb_per_interval
             .iter()
             .map(|&gb| self.drain_secs(gb) / interval_secs)
-            .fold(0.0, f64::max)
+            .fold(0.0, f64::max);
+        vb_telemetry::gauge!("net.wan_peak_utilization").set(peak);
+        peak
     }
 }
 

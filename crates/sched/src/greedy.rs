@@ -56,6 +56,7 @@ impl Policy for GreedyPolicy {
     }
 
     fn plan(&mut self, ctx: &PlanContext) -> Vec<Assignment> {
+        let _span = vb_telemetry::span!("sched.greedy_plan");
         let mut extra: Vec<f64> = vec![0.0; ctx.sites.len()];
         let mut out = Vec::with_capacity(ctx.new_apps.len());
         for app in &ctx.new_apps {

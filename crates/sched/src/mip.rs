@@ -351,6 +351,7 @@ impl Policy for MipPolicy {
     }
 
     fn plan(&mut self, ctx: &PlanContext) -> Vec<Assignment> {
+        let _span = vb_telemetry::span!("sched.mip_plan");
         if ctx.new_apps.is_empty() && ctx.movable.is_empty() {
             return Vec::new();
         }
@@ -366,6 +367,14 @@ impl Policy for MipPolicy {
             Ok(plan) => plan,
             Err(_) => {
                 self.fallbacks_used += 1;
+                vb_telemetry::counter!("sched.mip_fallbacks").inc();
+                vb_telemetry::event(
+                    "sched.mip_fallback",
+                    &[
+                        ("policy", self.cfg.name.as_str().into()),
+                        ("epoch_step", ctx.now.into()),
+                    ],
+                );
                 self.fallback.plan(ctx)
             }
         }

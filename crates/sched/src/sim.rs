@@ -291,9 +291,19 @@ impl GroupSim {
     /// Run a policy and keep the full per-step telemetry alongside the
     /// summary (used by the figure benches and diagnostics).
     pub fn run_detailed(mut self, policy: &mut dyn Policy) -> DetailedRun {
+        let _run_span = vb_telemetry::span!("sched.group_run");
+        vb_telemetry::event(
+            "sched.run_start",
+            &[
+                ("policy", policy.name().into()),
+                ("sites", (self.sites.len() as u64).into()),
+                ("steps", self.n_steps.into()),
+            ],
+        );
         let mut steps = Vec::with_capacity(self.n_steps as usize);
         let mut epoch_arrivals: Vec<AppSpec> = Vec::new();
         for step in 0..self.n_steps {
+            let _step_span = vb_telemetry::span!("sched.sim_step");
             self.now = step;
             let mut stats = GroupStepStats {
                 step,
@@ -342,6 +352,13 @@ impl GroupSim {
                 .count();
             stats.allocated_cores = self.sites.iter().map(|s| s.allocated_cores as u64).sum();
             stats.budget_cores = self.sites.iter().map(|s| s.budget_cores as u64).sum();
+            vb_telemetry::counter!("sched.transfers").add(stats.transfers as u64);
+            vb_telemetry::float_counter!("sched.rehost_gb").add(stats.rehost_gb);
+            vb_telemetry::float_counter!("sched.relaunch_gb").add(stats.relaunch_gb);
+            vb_telemetry::float_counter!("sched.move_gb").add(stats.move_gb);
+            vb_telemetry::float_counter!("sched.stranded_gb").add(stats.stranded_gb);
+            vb_telemetry::gauge!("sched.queued_apps").set(stats.queued_apps as f64);
+            vb_telemetry::histogram!("sched.step_transfer_gb").observe(stats.transfer_gb);
             steps.push(stats);
         }
         let summary = PolicySummary::from_steps(
@@ -349,6 +366,16 @@ impl GroupSim {
             &steps,
             self.preemptive_moves,
             self.dropped_apps,
+        );
+        vb_telemetry::event(
+            "sched.run_complete",
+            &[
+                ("policy", summary.policy.as_str().into()),
+                ("total_gb", summary.total_gb.into()),
+                ("peak_gb", summary.peak_gb.into()),
+                ("preemptive_moves", (summary.preemptive_moves as u64).into()),
+                ("dropped_apps", (summary.dropped_apps as u64).into()),
+            ],
         );
         DetailedRun { steps, summary }
     }
@@ -563,6 +590,7 @@ impl GroupSim {
                     continue;
                 }
                 self.pending_moves.push_back((id, s));
+                vb_telemetry::counter!("sched.moves_planned").inc();
             } else {
                 // Initial placement: deployment, not migration traffic.
                 self.attach(id, s);
@@ -598,6 +626,7 @@ impl GroupSim {
             self.moved_at.insert(id, self.now);
             executed += 1;
         }
+        vb_telemetry::counter!("sched.moves_executed").add(executed as u64);
     }
 
     /// One step of preemptive draining: for each site whose committed
@@ -678,6 +707,7 @@ impl GroupSim {
                 moved += 1;
             }
         }
+        vb_telemetry::counter!("sched.drain_moves").add(moved as u64);
     }
 
     /// Stable apps at sites whose forecast shows a capacity deficit,

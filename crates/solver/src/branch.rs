@@ -32,6 +32,8 @@ pub fn solve_mip(model: &Model) -> Result<Solution, SolveError> {
 /// produces an incumbent almost immediately, so bounded solves rarely
 /// fail outright.
 pub fn solve_mip_bounded(model: &Model, max_nodes: usize) -> Result<Solution, SolveError> {
+    let _span = vb_telemetry::span!("solver.mip_solve");
+    vb_telemetry::counter!("solver.mip_solves").inc();
     let int_vars: Vec<VarId> = model
         .vars
         .iter()
@@ -61,6 +63,8 @@ pub fn solve_mip_bounded(model: &Model, max_nodes: usize) -> Result<Solution, So
     // incumbent in ~|int_vars| LP solves, making bounded solves anytime.
     let mut incumbent: Option<Solution> = dive(model, &int_vars, root);
     let mut explored = 0usize;
+    let mut pruned = 0u64;
+    let mut improvements = 0u64;
     let mut budget_exhausted = false;
 
     while let Some(node) = heap.pop() {
@@ -73,6 +77,7 @@ pub fn solve_mip_bounded(model: &Model, max_nodes: usize) -> Result<Solution, So
         // incumbent.
         if let Some(inc) = &incumbent {
             if !better(node.bound, inc.objective) {
+                pruned += 1;
                 continue;
             }
         }
@@ -86,6 +91,7 @@ pub fn solve_mip_bounded(model: &Model, max_nodes: usize) -> Result<Solution, So
                     .is_none_or(|inc| better(snapped.objective, inc.objective));
                 if accept {
                     incumbent = Some(snapped);
+                    improvements += 1;
                 }
             }
             Some((var, value)) => {
@@ -117,6 +123,11 @@ pub fn solve_mip_bounded(model: &Model, max_nodes: usize) -> Result<Solution, So
             }
         }
     }
+
+    vb_telemetry::counter!("solver.mip_nodes_expanded").add(explored as u64);
+    vb_telemetry::counter!("solver.mip_nodes_pruned").add(pruned);
+    vb_telemetry::counter!("solver.mip_incumbent_improvements").add(improvements);
+    vb_telemetry::histogram!("solver.mip_nodes_per_solve").observe(explored as f64);
 
     incumbent.ok_or(if budget_exhausted {
         SolveError::IterationLimit

@@ -35,6 +35,8 @@ pub fn solve_lp(
     model: &Model,
     bound_overrides: &[(VarId, f64, f64)],
 ) -> Result<Solution, SolveError> {
+    let _span = vb_telemetry::span!("solver.lp_solve");
+    vb_telemetry::counter!("solver.lp_solves").inc();
     let n = model.vars.len();
 
     // Effective bounds.
@@ -225,17 +227,32 @@ impl Tableau {
     /// Columns at `col_limit` and beyond may not enter the basis.
     fn iterate(&mut self, cost: &mut [f64], col_limit: usize) -> Result<(), SolveError> {
         let max_iter = 20_000 + 100 * (self.m + self.cols);
-        for iter in 0..max_iter {
-            let bland = iter >= BLAND_AFTER;
-            let Some(enter) = self.choose_entering(cost, col_limit, bland) else {
-                return Ok(());
-            };
-            let Some(leave) = self.choose_leaving(enter) else {
-                return Err(SolveError::Unbounded);
-            };
-            self.pivot(leave, enter, cost);
+        let mut pivots = 0u64;
+        let mut degenerate = 0u64;
+        let result = (|| {
+            for iter in 0..max_iter {
+                let bland = iter >= BLAND_AFTER;
+                let Some(enter) = self.choose_entering(cost, col_limit, bland) else {
+                    return Ok(());
+                };
+                let Some(leave) = self.choose_leaving(enter) else {
+                    return Err(SolveError::Unbounded);
+                };
+                // A (near-)zero rhs in the leaving row means this pivot
+                // cannot improve the objective: a degeneracy step.
+                if self.a[leave][self.cols].abs() <= EPS {
+                    degenerate += 1;
+                }
+                self.pivot(leave, enter, cost);
+                pivots += 1;
+            }
+            Err(SolveError::IterationLimit)
+        })();
+        vb_telemetry::counter!("solver.simplex_pivots").add(pivots);
+        if degenerate > 0 {
+            vb_telemetry::counter!("solver.degenerate_pivots").add(degenerate);
         }
-        Err(SolveError::IterationLimit)
+        result
     }
 
     /// Entering column: most negative reduced cost (Dantzig) or first

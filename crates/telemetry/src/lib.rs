@@ -1,0 +1,128 @@
+//! # vb-telemetry
+//!
+//! Zero-dependency observability for the virtual-battery workspace:
+//!
+//! * **Metrics** — [`counter!`], [`float_counter!`], [`gauge!`] and
+//!   [`histogram!`] resolve a name to a process-global metric once per
+//!   call site (cached in a static), then update it with a single atomic
+//!   operation. No locks on the hot path.
+//! * **Spans** — [`span!`] returns an RAII guard that times the enclosed
+//!   scope. Durations aggregate in thread-local storage and merge into
+//!   the global registry when the outermost span on a thread closes, so
+//!   deeply nested instrumentation stays cheap.
+//! * **Run reports** — [`event`] records structured moments (an epoch
+//!   planned, a figure completed); [`RunReport::capture`] bundles the
+//!   event stream with a full metric snapshot and serializes to JSONL
+//!   that [`RunReport::parse_jsonl`] reads back.
+//!
+//! ## Compile-out
+//!
+//! Everything is gated behind the `telemetry` cargo feature (on by
+//! default). With `--no-default-features` the same API exists but every
+//! handle is a unit struct with `#[inline]` empty methods: call sites in
+//! the solver, scheduler and simulators compile to nothing.
+//!
+//! ```
+//! let _span = vb_telemetry::span!("example.work");
+//! vb_telemetry::counter!("example.iterations").add(10);
+//! vb_telemetry::histogram!("example.batch_size").observe(32.0);
+//! let report = vb_telemetry::RunReport::capture("example");
+//! let jsonl = report.to_jsonl();
+//! let back = vb_telemetry::RunReport::parse_jsonl(&jsonl).unwrap();
+//! assert_eq!(report, back);
+//! ```
+
+pub mod report;
+mod snapshot;
+
+pub use report::{Event, Json, RunReport};
+pub use snapshot::{HistogramSnapshot, Snapshot, SpanStat};
+
+#[cfg(feature = "telemetry")]
+mod metrics;
+#[cfg(feature = "telemetry")]
+mod registry;
+#[cfg(feature = "telemetry")]
+mod span;
+
+#[cfg(feature = "telemetry")]
+pub use metrics::{Counter, FloatCounter, Gauge, Histogram};
+#[cfg(feature = "telemetry")]
+pub use registry::{event, events, global, reset, snapshot, Registry};
+#[cfg(feature = "telemetry")]
+pub use span::SpanGuard;
+
+#[cfg(feature = "telemetry")]
+#[doc(hidden)]
+pub mod cells {
+    pub use crate::metrics::{CounterCell, FloatCounterCell, GaugeCell, HistogramCell};
+}
+
+#[cfg(not(feature = "telemetry"))]
+mod noop;
+#[cfg(not(feature = "telemetry"))]
+pub use noop::{
+    event, events, reset, snapshot, Counter, FloatCounter, Gauge, Histogram, SpanGuard,
+};
+#[cfg(not(feature = "telemetry"))]
+#[doc(hidden)]
+pub mod cells {
+    pub use crate::noop::{CounterCell, FloatCounterCell, GaugeCell, HistogramCell};
+}
+
+/// Monotonic counter handle for the named metric.
+///
+/// The name must be a string literal (or `&'static str` expression); the
+/// registry lookup happens once per call site.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static __VB_CELL: $crate::cells::CounterCell = $crate::cells::CounterCell::new();
+        __VB_CELL.get($name)
+    }};
+}
+
+/// Monotonic `f64` accumulator handle (e.g. gigabytes moved).
+#[macro_export]
+macro_rules! float_counter {
+    ($name:expr) => {{
+        static __VB_CELL: $crate::cells::FloatCounterCell = $crate::cells::FloatCounterCell::new();
+        __VB_CELL.get($name)
+    }};
+}
+
+/// Last-value gauge handle (e.g. current utilization).
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static __VB_CELL: $crate::cells::GaugeCell = $crate::cells::GaugeCell::new();
+        __VB_CELL.get($name)
+    }};
+}
+
+/// Fixed-bucket histogram handle. The one-argument form uses the default
+/// decade buckets; pass a `&'static [f64]` of ascending upper bounds to
+/// customize.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static __VB_CELL: $crate::cells::HistogramCell = $crate::cells::HistogramCell::new();
+        __VB_CELL.get($name, None)
+    }};
+    ($name:expr, $bounds:expr) => {{
+        static __VB_CELL: $crate::cells::HistogramCell = $crate::cells::HistogramCell::new();
+        __VB_CELL.get($name, Some($bounds))
+    }};
+}
+
+/// Time the enclosing scope: `let _span = span!("solver.mip_solve");`.
+///
+/// Durations are aggregated per thread and merged into the registry when
+/// the thread's outermost span closes; nested spans are tracked
+/// independently by name.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name)
+    };
+}

@@ -1,0 +1,126 @@
+//! API mirror compiled when the `telemetry` feature is **off**: every
+//! handle is a unit struct whose methods are empty and `#[inline]`, so
+//! instrumented call sites optimize away entirely.
+
+use crate::report::{Event, Json};
+use crate::snapshot::Snapshot;
+
+/// No-op counter.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Counter;
+
+impl Counter {
+    #[inline(always)]
+    pub fn inc(&self) {}
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op float counter.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FloatCounter;
+
+impl FloatCounter {
+    #[inline(always)]
+    pub fn add(&self, _v: f64) {}
+    #[inline(always)]
+    pub fn get(&self) -> f64 {
+        0.0
+    }
+}
+
+/// No-op gauge.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Gauge;
+
+impl Gauge {
+    #[inline(always)]
+    pub fn set(&self, _v: f64) {}
+    #[inline(always)]
+    pub fn get(&self) -> f64 {
+        0.0
+    }
+}
+
+/// No-op histogram.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Histogram;
+
+impl Histogram {
+    #[inline(always)]
+    pub fn observe(&self, _v: f64) {}
+    #[inline(always)]
+    pub fn count(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op span guard.
+#[must_use = "a span guard times its scope; bind it with `let _span = ...`"]
+#[derive(Debug)]
+pub struct SpanGuard;
+
+impl SpanGuard {
+    #[inline(always)]
+    pub fn enter(_name: &'static str) -> SpanGuard {
+        SpanGuard
+    }
+}
+
+/// Always-empty snapshot.
+#[inline]
+pub fn snapshot() -> Snapshot {
+    Snapshot::default()
+}
+
+/// Events are dropped when telemetry is compiled out.
+#[inline(always)]
+pub fn event(_kind: &str, _fields: &[(&str, Json)]) {}
+
+/// Copy of the (always empty) event stream.
+#[inline]
+pub fn events() -> Vec<Event> {
+    Vec::new()
+}
+
+/// Nothing to reset.
+#[inline(always)]
+pub fn reset() {}
+
+macro_rules! noop_cell {
+    ($cell:ident, $metric:ident) => {
+        pub struct $cell;
+
+        impl $cell {
+            pub const fn new() -> $cell {
+                $cell
+            }
+
+            #[inline(always)]
+            pub fn get(&'static self, _name: &'static str) -> $metric {
+                $metric
+            }
+        }
+    };
+}
+
+noop_cell!(CounterCell, Counter);
+noop_cell!(FloatCounterCell, FloatCounter);
+noop_cell!(GaugeCell, Gauge);
+
+pub struct HistogramCell;
+
+impl HistogramCell {
+    pub const fn new() -> HistogramCell {
+        HistogramCell
+    }
+
+    #[inline(always)]
+    pub fn get(&'static self, _name: &'static str, _bounds: Option<&'static [f64]>) -> Histogram {
+        Histogram
+    }
+}

@@ -1,0 +1,176 @@
+//! Process-global metric registry, span aggregates, and the structured
+//! event stream.
+
+use crate::metrics::{Counter, FloatCounter, Gauge, Histogram, DEFAULT_BOUNDS};
+use crate::report::{Event, Json};
+use crate::snapshot::{Snapshot, SpanStat};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Registry of named metrics. Lookups take a lock; updates through the
+/// returned handles are lock-free, so the lock is only contended when a
+/// call site first resolves its metric.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<HashMap<&'static str, Arc<Counter>>>,
+    float_counters: Mutex<HashMap<&'static str, Arc<FloatCounter>>>,
+    gauges: Mutex<HashMap<&'static str, Arc<Gauge>>>,
+    histograms: Mutex<HashMap<&'static str, Arc<Histogram>>>,
+    spans: Mutex<HashMap<&'static str, SpanStat>>,
+    events: Mutex<Vec<Event>>,
+}
+
+impl Registry {
+    /// Get or create the named counter.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap();
+        Arc::clone(map.entry(name).or_insert_with(|| Arc::new(Counter::new())))
+    }
+
+    /// Get or create the named float counter.
+    pub fn float_counter(&self, name: &'static str) -> Arc<FloatCounter> {
+        let mut map = self.float_counters.lock().unwrap();
+        Arc::clone(
+            map.entry(name)
+                .or_insert_with(|| Arc::new(FloatCounter::new())),
+        )
+    }
+
+    /// Get or create the named gauge.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap();
+        Arc::clone(map.entry(name).or_insert_with(|| Arc::new(Gauge::new())))
+    }
+
+    /// Get or create the named histogram. `bounds` applies only on first
+    /// creation; later callers share the existing buckets.
+    pub fn histogram(&self, name: &'static str, bounds: Option<&[f64]>) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        Arc::clone(
+            map.entry(name).or_insert_with(|| {
+                Arc::new(Histogram::with_bounds(bounds.unwrap_or(&DEFAULT_BOUNDS)))
+            }),
+        )
+    }
+
+    /// Merge a thread's span aggregates (called when a thread's
+    /// outermost span closes).
+    pub(crate) fn merge_spans(&self, local: &HashMap<&'static str, SpanStat>) {
+        let mut map = self.spans.lock().unwrap();
+        for (name, stat) in local {
+            map.entry(name).or_default().merge(stat);
+        }
+    }
+
+    /// Append a structured event to the run's stream.
+    pub fn event(&self, kind: &str, fields: &[(&str, Json)]) {
+        let mut events = self.events.lock().unwrap();
+        let seq = events.len() as u64;
+        events.push(Event {
+            seq,
+            kind: kind.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+    }
+
+    /// Copy of the event stream so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Freeze every metric into plain data, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&n, c)| (n.to_string(), c.get()))
+                .collect(),
+            float_counters: self
+                .float_counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&n, c)| (n.to_string(), c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&n, g)| (n.to_string(), g.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&n, h)| (n.to_string(), h.snapshot()))
+                .collect(),
+            spans: self
+                .spans
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&n, &s)| (n.to_string(), s))
+                .collect(),
+        };
+        snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.float_counters.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.spans.sort_by(|a, b| a.0.cmp(&b.0));
+        snap
+    }
+
+    /// Zero every metric in place and clear span aggregates and events.
+    /// Registrations survive, so handles cached at call sites stay
+    /// valid — this is how benches separate back-to-back runs.
+    pub fn reset(&self) {
+        for c in self.counters.lock().unwrap().values() {
+            c.reset();
+        }
+        for c in self.float_counters.lock().unwrap().values() {
+            c.reset();
+        }
+        for g in self.gauges.lock().unwrap().values() {
+            g.reset();
+        }
+        for h in self.histograms.lock().unwrap().values() {
+            h.reset();
+        }
+        self.spans.lock().unwrap().clear();
+        self.events.lock().unwrap().clear();
+    }
+}
+
+/// The process-global registry every macro records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::default)
+}
+
+/// Snapshot the global registry.
+pub fn snapshot() -> Snapshot {
+    global().snapshot()
+}
+
+/// Record a structured event in the global run stream.
+pub fn event(kind: &str, fields: &[(&str, Json)]) {
+    global().event(kind, fields);
+}
+
+/// Copy of the global event stream so far.
+pub fn events() -> Vec<Event> {
+    global().events()
+}
+
+/// Reset the global registry (between runs — see [`Registry::reset`]).
+pub fn reset() {
+    global().reset();
+}

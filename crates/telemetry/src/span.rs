@@ -1,0 +1,64 @@
+//! RAII timing spans with thread-local aggregation.
+//!
+//! Each [`SpanGuard`] times its scope with a monotonic clock. Durations
+//! accumulate into a thread-local map keyed by span name; when the
+//! outermost span on a thread closes, the whole map merges into the
+//! global registry in one lock acquisition. Hot loops can therefore open
+//! thousands of nested spans without touching shared state.
+
+use crate::snapshot::SpanStat;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::time::Instant;
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+    static LOCAL: RefCell<HashMap<&'static str, SpanStat>> = RefCell::new(HashMap::new());
+}
+
+/// Guard returned by [`span!`](crate::span!); records the elapsed time
+/// for `name` when dropped.
+#[must_use = "a span guard times its scope; bind it with `let _span = ...`"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Open a span. Prefer the [`span!`](crate::span!) macro.
+    pub fn enter(name: &'static str) -> SpanGuard {
+        DEPTH.with(|d| d.set(d.get() + 1));
+        SpanGuard {
+            name,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        LOCAL.with(|local| {
+            local
+                .borrow_mut()
+                .entry(self.name)
+                .or_default()
+                .record_ns(ns);
+        });
+        let depth = DEPTH.with(|d| {
+            let v = d.get() - 1;
+            d.set(v);
+            v
+        });
+        if depth == 0 {
+            LOCAL.with(|local| {
+                let mut map = local.borrow_mut();
+                if !map.is_empty() {
+                    crate::registry::global().merge_spans(&map);
+                    map.clear();
+                }
+            });
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Run-report JSONL round-trip: capture -> serialize -> parse -> equal.
+//!
+//! The capture test is a single test fn because it exercises the
+//! process-global registry (including `reset`), which would race with
+//! sibling tests in the same binary.
+
+use vb_telemetry::{Json, RunReport};
+
+#[cfg(feature = "telemetry")]
+#[test]
+fn capture_serialize_parse_roundtrip() {
+    use vb_telemetry::{counter, event, float_counter, gauge, histogram, span};
+
+    vb_telemetry::reset();
+    {
+        let _run = span!("roundtrip.run");
+        counter!("roundtrip.steps").add(7);
+        float_counter!("roundtrip.gb_moved").add(12.625);
+        gauge!("roundtrip.utilization").set(0.6875);
+        static BOUNDS: [f64; 3] = [1.0, 8.0, 64.0];
+        for v in [0.5, 3.0, 9.0, 100.0] {
+            histogram!("roundtrip.batch", &BOUNDS).observe(v);
+        }
+        event(
+            "epoch_planned",
+            &[
+                ("epoch", Json::from(3u64)),
+                ("policy", Json::from("mip")),
+                ("moves", Json::from(14u64)),
+                ("gb", Json::from(9.5)),
+            ],
+        );
+        event("phase_done", &[("name", Json::from("warmup"))]);
+    }
+
+    let report = RunReport::capture("roundtrip_demo");
+    assert_eq!(report.name, "roundtrip_demo");
+    assert_eq!(report.events.len(), 2);
+    assert_eq!(report.events[0].kind, "epoch_planned");
+    assert_eq!(report.snapshot.counter("roundtrip.steps"), Some(7));
+    assert_eq!(
+        report.snapshot.float_counter("roundtrip.gb_moved"),
+        Some(12.625)
+    );
+    assert_eq!(report.snapshot.gauge("roundtrip.utilization"), Some(0.6875));
+    let hist = report.snapshot.histogram("roundtrip.batch").expect("hist");
+    assert_eq!(hist.counts, vec![1, 1, 1, 1]);
+    assert!(report.snapshot.span("roundtrip.run").is_some());
+
+    let jsonl = report.to_jsonl();
+    assert_eq!(jsonl.lines().count(), 3, "2 events + 1 summary");
+    let parsed = RunReport::parse_jsonl(&jsonl).expect("parse back");
+    assert_eq!(parsed, report, "JSONL round-trip must be lossless");
+
+    // A second serialization of the parsed report is byte-identical.
+    assert_eq!(parsed.to_jsonl(), jsonl);
+}
+
+#[cfg(not(feature = "telemetry"))]
+#[test]
+fn capture_is_empty_when_compiled_out() {
+    // The API surface still exists; everything no-ops.
+    let _span = vb_telemetry::span!("disabled.run");
+    vb_telemetry::counter!("disabled.steps").add(7);
+    vb_telemetry::event("epoch_planned", &[("epoch", Json::from(1u64))]);
+
+    let report = RunReport::capture("disabled");
+    assert!(report.events.is_empty());
+    assert!(report.snapshot.is_empty());
+
+    // Reports still serialize and parse (as an empty run).
+    let back = RunReport::parse_jsonl(&report.to_jsonl()).expect("parse");
+    assert_eq!(back, report);
+}
+
+#[test]
+fn parser_accepts_hand_written_reports() {
+    let text = concat!(
+        "{\"type\":\"event\",\"seq\":0,\"kind\":\"start\",\"fields\":{\"note\":\"a \\\"quoted\\\" name\",\"ok\":true,\"x\":null}}\n",
+        "{\"type\":\"summary\",\"name\":\"hand\",\"counters\":{\"c\":3},",
+        "\"float_counters\":{\"f\":1.5},\"gauges\":{},",
+        "\"histograms\":{\"h\":{\"bounds\":[1.0,2.0],\"counts\":[1,0,2],\"count\":3,\"sum\":7.5,\"min\":0.5,\"max\":4.0}},",
+        "\"spans\":{\"s\":{\"count\":2,\"total_ns\":100,\"min_ns\":40,\"max_ns\":60}}}\n",
+    );
+    let report = RunReport::parse_jsonl(text).expect("valid report");
+    assert_eq!(report.name, "hand");
+    assert_eq!(report.events.len(), 1);
+    assert_eq!(
+        report.events[0].fields[0].1,
+        Json::Str("a \"quoted\" name".to_string())
+    );
+    assert_eq!(report.snapshot.counter("c"), Some(3));
+    assert_eq!(
+        report.snapshot.histogram("h").unwrap().counts,
+        vec![1, 0, 2]
+    );
+    assert_eq!(report.snapshot.span("s").unwrap().mean_ns(), 50);
+}
+
+#[test]
+fn parser_rejects_malformed_input() {
+    assert!(RunReport::parse_jsonl("").is_err(), "no summary line");
+    assert!(
+        RunReport::parse_jsonl("{\"type\":\"event\",\"seq\":0}\n").is_err(),
+        "event missing fields and no summary"
+    );
+    assert!(
+        RunReport::parse_jsonl("not json at all\n").is_err(),
+        "not JSON"
+    );
+    let dup = "{\"type\":\"summary\",\"name\":\"a\",\"counters\":{},\"float_counters\":{},\"gauges\":{},\"histograms\":{},\"spans\":{}}\n";
+    assert!(
+        RunReport::parse_jsonl(&format!("{dup}{dup}")).is_err(),
+        "two summaries"
+    );
+}
+
+#[test]
+fn json_value_round_trips_tricky_scalars() {
+    for text in [
+        "{\"neg\":-12,\"big\":9007199254740993,\"frac\":0.1,\"exp\":1e-9,\"s\":\"\\u00e9\\n\"}",
+        "[1,2.5,null,true,false,\"\",[],{}]",
+    ] {
+        let v = Json::parse(text).expect("parse");
+        let emitted = v.emit();
+        let reparsed = Json::parse(&emitted).expect("reparse");
+        assert_eq!(v, reparsed, "emit/parse must be stable for {text}");
+    }
+    // Integers beyond 2^53 survive exactly (stored as i64, not f64).
+    let v = Json::parse("9007199254740993").unwrap();
+    assert_eq!(v, Json::Int(9_007_199_254_740_993));
+    assert_eq!(v.emit(), "9007199254740993");
+}

@@ -114,6 +114,24 @@ proptest! {
 }
 
 #[test]
+fn regression_window_consistency_at_first_day() {
+    // Pinned from `proptest_trace.proptest-regressions` (the offline
+    // proptest stand-in does not read that file): a wind site queried at
+    // start = 1 overlaps the first generated day, where the look-back
+    // window for [start-1, ...) begins at absolute day 0.
+    let site = Site::wind("aaa", 36.0, 0.0);
+    let field = WeatherField::new(7);
+    let long = generate_in(&site, 0, 3, &field);
+    let short = generate_in(&site, 1, 2, &field);
+    for i in 0..short.len() {
+        assert!(
+            (long.values[96 + i] - short.values[i]).abs() < 1e-9,
+            "mismatch at {i}"
+        );
+    }
+}
+
+#[test]
 fn catalog_sites_have_distinct_stream_ids() {
     let catalog = Catalog::europe(1);
     let mut ids: Vec<u64> = catalog.sites().iter().map(|s| s.stream_id()).collect();

@@ -5,6 +5,9 @@
 //! ```sh
 //! cargo run --release --example scheduler_comparison
 //! ```
+//!
+//! Set `VB_REPORT_DIR=some/dir` to also write one telemetry JSONL run
+//! report per policy (see `vb_telemetry::RunReport`).
 
 use vb_net::{LinkSimulator, WanModel};
 use vb_sched::{GreedyPolicy, GroupSim, GroupSimConfig, MipConfig, MipPolicy, Policy};
@@ -40,8 +43,22 @@ fn main() {
     ]);
     let wan = WanModel::default();
     let mut wan_rows = Vec::new();
+    let report_dir = std::env::var("VB_REPORT_DIR")
+        .ok()
+        .filter(|d| !d.is_empty());
     for p in policies.iter_mut() {
+        vb_telemetry::reset();
         let s = GroupSim::new(&catalog, &names, cfg.clone()).run(p.as_mut());
+        if let Some(dir) = &report_dir {
+            let report = vb_telemetry::RunReport::capture(&s.policy);
+            let path = format!("{dir}/{}.jsonl", s.policy);
+            if std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(&path, report.to_jsonl()))
+                .is_ok()
+            {
+                eprintln!("wrote telemetry report {path}");
+            }
+        }
         table.row(&[
             s.policy.clone(),
             thousands(s.total_gb),

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op derive macros and declares the marker traits so
+//! `use serde::{Deserialize, Serialize}` resolves in both the type and
+//! macro namespaces, exactly like the real crate. No generic
+//! serialization machinery exists here — the workspace's serializers are
+//! hand-rolled (`vb_trace::io`, `vb_stats::report`,
+//! `vb_telemetry::report`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

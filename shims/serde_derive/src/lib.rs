@@ -1,0 +1,21 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace serializes through hand-rolled CSV/JSON emitters (see
+//! `vb_trace::io`, `vb_stats::report`, `vb_telemetry::report`), so
+//! `#[derive(Serialize, Deserialize)]` carries no behaviour here: the
+//! derives are accepted — including `#[serde(...)]` field attributes —
+//! and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accept `#[derive(Serialize)]` and expand to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept `#[derive(Deserialize)]` and expand to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -158,3 +158,53 @@ proptest! {
         }
     }
 }
+
+// --- Pinned regression cases ---
+//
+// These inputs were shrunk counterexamples recorded in
+// `proptest_invariants.proptest-regressions` by upstream proptest. The
+// offline proptest stand-in does not read that file, so the cases are
+// pinned explicitly here.
+
+#[test]
+fn regression_cdf_quantiles_with_leading_zeros() {
+    // Majority-zero sample: quantile interpolation must stay monotone
+    // and bracketed when most of the mass sits at the minimum.
+    let values = [0.0, 0.0, 0.0, 0.0, 74.85499421882521, 74.26177988174805];
+    let cdf = Cdf::of(&values);
+    let mut prev = f64::NEG_INFINITY;
+    for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let x = cdf.quantile(q);
+        assert!(x >= prev - 1e-12, "quantiles must be monotone");
+        assert!((-1e-12..=74.85499421882521 + 1e-12).contains(&x));
+        prev = x;
+    }
+    assert!((cdf.quantile(0.0) - 0.0).abs() < 1e-12);
+    assert!((cdf.quantile(1.0) - 74.85499421882521).abs() < 1e-12);
+    assert!((cdf.eval(74.85499421882521) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn regression_window_larger_than_series() {
+    // Window length exceeding the series length: the single partial
+    // window must still lower-bound every sample, and decomposition must
+    // still conserve energy.
+    let ts = TimeSeries::new(
+        900,
+        vec![
+            95.21315253770746,
+            120.98829288615414,
+            230.79385986162924,
+            244.94192233598193,
+        ],
+    );
+    let w = 8;
+    let mins = ts.window_min(w);
+    for (i, &v) in ts.values.iter().enumerate() {
+        assert!(mins.values[i / w] <= v + 1e-12);
+    }
+    let b = decompose(&ts, w);
+    assert!((b.total_mwh() - ts.energy()).abs() < 1e-6);
+    assert!(b.stable_mwh >= -1e-12);
+    assert!(b.variable_mwh >= -1e-12);
+}

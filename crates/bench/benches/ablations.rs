@@ -23,7 +23,9 @@ fn run_policy(
     cfg: &GroupSimConfig,
     p: &mut dyn Policy,
 ) -> (f64, f64, u64) {
-    let s = GroupSim::new(catalog, names, cfg.clone()).run(p);
+    let s = GroupSim::new(catalog, names, cfg.clone())
+        .expect("benchmark sites must exist in the catalog")
+        .run(p);
     (s.total_gb, s.peak_gb, s.unavailable_app_steps)
 }
 
@@ -87,7 +89,9 @@ fn ablate_peak_weight(catalog: &Catalog, cfg: &GroupSimConfig) {
         if w == 0.0 {
             mc.minimize_peak = false;
         }
-        let s = GroupSim::new(catalog, &TRIO, cfg.clone()).run(&mut MipPolicy::new(mc));
+        let s = GroupSim::new(catalog, &TRIO, cfg.clone())
+            .expect("benchmark sites must exist in the catalog")
+            .run(&mut MipPolicy::new(mc));
         t.row(&[
             format!("{w}"),
             thousands(s.total_gb),

@@ -92,7 +92,9 @@ fn economics(catalog: &Catalog) {
 fn replication_vs_migration(catalog: &Catalog) {
     println!("== §3: replication vs migration for stable apps ==");
     let cfg = GroupSimConfig::default();
-    let run = GroupSim::new(catalog, &TRIO, cfg).run_detailed(&mut GreedyPolicy::new());
+    let run = GroupSim::new(catalog, &TRIO, cfg)
+        .expect("benchmark sites must exist in the catalog")
+        .run_detailed(&mut GreedyPolicy::new());
 
     let mut t = Table::new(&[
         "Mechanism",

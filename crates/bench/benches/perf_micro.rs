@@ -48,6 +48,20 @@ fn bench_solver(c: &mut Criterion) {
     c.bench_function("solver/placement_mip", |b| {
         b.iter_batched(build, |m| m.solve().unwrap(), BatchSize::SmallInput)
     });
+    c.bench_function("solver/placement_mip_cold_nodes", |b| {
+        b.iter_batched(
+            build,
+            |m| vb_solver::branch::solve_mip_bounded_with(&m, 10_000, false).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("solver/placement_mip_warm_nodes", |b| {
+        b.iter_batched(
+            build,
+            |m| vb_solver::branch::solve_mip_bounded_with(&m, 10_000, true).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
 
     let lp = || {
         let mut m = Model::new(Sense::Maximize);

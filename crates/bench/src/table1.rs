@@ -67,7 +67,11 @@ pub fn run_on_group(seed: u64, names: &[&str]) -> Table1Report {
     ];
     let rows = policies
         .iter_mut()
-        .map(|p| GroupSim::new(&catalog, names, cfg.clone()).run(p.as_mut()))
+        .map(|p| {
+            GroupSim::new(&catalog, names, cfg.clone())
+                .expect("Table 1 sites must exist in the catalog")
+                .run(p.as_mut())
+        })
         .collect();
     Table1Report {
         group: names.iter().map(|s| s.to_string()).collect(),
@@ -142,8 +146,10 @@ mod tests {
         let names = ["NO-solar", "UK-wind", "PT-wind"];
         let mut greedy = GreedyPolicy::new();
         let mut mip = MipPolicy::new(MipConfig::mip());
-        let g = GroupSim::new(&catalog, &names, cfg.clone()).run(&mut greedy);
-        let m = GroupSim::new(&catalog, &names, cfg).run(&mut mip);
+        let g = GroupSim::new(&catalog, &names, cfg.clone())
+            .unwrap()
+            .run(&mut greedy);
+        let m = GroupSim::new(&catalog, &names, cfg).unwrap().run(&mut mip);
         // Short windows are noisy (the 7-day bench run shows MIP ahead);
         // guard only against gross regressions here.
         assert!(

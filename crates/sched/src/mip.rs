@@ -154,9 +154,12 @@ impl MipPolicy {
 
     fn solve(&self, ctx: &PlanContext) -> Result<Vec<Assignment>, SolveError> {
         let n_sites = ctx.sites.len();
+        // Ceiling division: a partial final bucket still belongs to the
+        // look-ahead (a 100-step horizon with 12-step buckets must plan
+        // 9 buckets, not truncate to 8 and go blind for the tail).
         let buckets = ctx
             .horizon_buckets()
-            .min((self.cfg.horizon_steps / ctx.bucket_steps.max(1)) as usize)
+            .min(self.cfg.horizon_steps.div_ceil(ctx.bucket_steps.max(1)) as usize)
             .max(1);
         let gbpc = self.cfg.gb_per_core;
 
@@ -291,26 +294,26 @@ impl MipPolicy {
         // budget keeps planning latency bounded while the root dive
         // guarantees a good incumbent.
         let sol = m.solve_bounded(self.cfg.max_nodes)?;
+        // A solver-tolerance pathology could in principle leave NaN/∞ in
+        // the solution; route it into the greedy fallback rather than
+        // letting a NaN-poisoned readout abort the whole simulation.
+        if !sol.objective.is_finite() || sol.values().iter().any(|v| !v.is_finite()) {
+            return Err(SolveError::BadModel("non-finite MIP solution".into()));
+        }
 
-        // Read the chosen site per app.
+        // Read the chosen site per app. `total_cmp` keeps the readout
+        // total even under unexpected NaN (belt and braces with the
+        // finiteness check above).
         let mut out = Vec::new();
         for (a, app) in ctx.new_apps.iter().enumerate() {
             let site = (0..n_sites)
-                .max_by(|&i, &j| {
-                    sol.value(x_new[a][i])
-                        .partial_cmp(&sol.value(x_new[a][j]))
-                        .expect("finite")
-                })
+                .max_by(|&i, &j| sol.value(x_new[a][i]).total_cmp(&sol.value(x_new[a][j])))
                 .expect("sites non-empty");
             out.push(Assignment { app: app.id, site });
         }
         for (a, app) in ctx.movable.iter().enumerate() {
             let site = (0..n_sites)
-                .max_by(|&i, &j| {
-                    sol.value(x_mov[a][i])
-                        .partial_cmp(&sol.value(x_mov[a][j]))
-                        .expect("finite")
-                })
+                .max_by(|&i, &j| sol.value(x_mov[a][i]).total_cmp(&sol.value(x_mov[a][j])))
                 .expect("sites non-empty");
             if site != app.current_site {
                 out.push(Assignment { app: app.id, site });
@@ -345,7 +348,7 @@ impl Policy for MipPolicy {
             .filter(|(_, s)| s.headroom() >= cores)
             .max_by(|(_, a), (_, b)| {
                 let score = |s: &SiteSnapshot| s.forecast_min_24h_cores - s.allocated_cores as f64;
-                score(a).partial_cmp(&score(b)).expect("finite")
+                score(a).total_cmp(&score(b))
             })
             .map(|(i, _)| i)
     }
@@ -574,6 +577,53 @@ mod tests {
         assert_eq!(MipPolicy::new(MipConfig::mip()).name(), "MIP");
         assert_eq!(MipPolicy::new(MipConfig::mip_24h()).name(), "MIP-24h");
         assert_eq!(MipPolicy::new(MipConfig::mip_peak()).name(), "MIP-peak");
+    }
+
+    #[test]
+    fn horizon_covers_partial_final_bucket() {
+        // horizon_steps = 100 with 12-step buckets is 8⅓ buckets. The
+        // old truncating division planned only 8 and went blind for the
+        // tail: a site collapsing in bucket 8 looked perfect. Ceiling
+        // division keeps the partial bucket in view.
+        let cfg = MipConfig {
+            horizon_steps: 100,
+            ..MipConfig::mip()
+        };
+        let ctx = PlanContext {
+            now: 0,
+            bucket_steps: 12,
+            sites: vec![
+                // Roomier than "steady" for 8 buckets, dead in the 9th.
+                site(
+                    "trap",
+                    vec![800.0, 800.0, 800.0, 800.0, 800.0, 800.0, 800.0, 800.0, 0.0],
+                    vec![0.0; 9],
+                ),
+                site("steady", vec![500.0; 9], vec![0.0; 9]),
+            ],
+            new_apps: vec![new_app(0, 25, 100)], // 100 cores, alive in bucket 8
+            movable: vec![],
+        };
+        let plan = MipPolicy::new(cfg).plan(&ctx);
+        assert_eq!(plan[0].site, 1, "the partial final bucket must be planned");
+    }
+
+    #[test]
+    fn rehost_survives_nan_forecast_scores() {
+        // A NaN forecast must not panic the readout; total_cmp keeps the
+        // comparison total and NaN sorts above every finite score, so
+        // the finite site still wins via max_by order stability checks.
+        let snap = |forecast: f64| SiteSnapshot {
+            budget_cores: 100,
+            allocated_cores: 0,
+            total_cores: 100,
+            admission_cap: 100,
+            forecast_min_24h_cores: forecast,
+        };
+        let sites = [snap(f64::NAN), snap(50.0)];
+        let mut pol = MipPolicy::new(MipConfig::mip());
+        let chosen = pol.choose_rehost(&sites, 10);
+        assert!(chosen.is_some(), "must pick a site, not panic");
     }
 
     #[test]

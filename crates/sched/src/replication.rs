@@ -156,7 +156,9 @@ mod tests {
             days: 2,
             ..GroupSimConfig::default()
         };
-        GroupSim::new(&catalog, &["UK-wind", "PT-wind"], cfg).run_detailed(&mut GreedyPolicy::new())
+        GroupSim::new(&catalog, &["UK-wind", "PT-wind"], cfg)
+            .unwrap()
+            .run_detailed(&mut GreedyPolicy::new())
     }
 
     #[test]

@@ -29,6 +29,28 @@ use vb_cluster::VmKind;
 use vb_stats::{Cdf, Summary, TimeSeries};
 use vb_trace::{forecast_for, generate_in, Catalog, Horizon, Site};
 
+/// Errors constructing a group simulation from a catalog + config.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A requested site name is not in the catalog.
+    UnknownSite(String),
+    /// The group needs at least one site.
+    NoSites,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnknownSite(name) => {
+                write!(f, "unknown site {name:?}: not present in the catalog")
+            }
+            SimError::NoSites => write!(f, "a group simulation needs at least one site"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
 /// Configuration of a group simulation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GroupSimConfig {
@@ -221,23 +243,32 @@ pub struct GroupSim {
 impl GroupSim {
     /// Build a group over the given catalog sites.
     ///
-    /// # Panics
-    /// Panics if `site_names` is empty or names an unknown site.
-    pub fn new(catalog: &Catalog, site_names: &[&str], cfg: GroupSimConfig) -> GroupSim {
-        assert!(!site_names.is_empty(), "need at least one site");
+    /// # Errors
+    /// [`SimError::NoSites`] when `site_names` is empty and
+    /// [`SimError::UnknownSite`] when a name is not in the catalog, so
+    /// callers (benches, examples) fail with a diagnostic instead of a
+    /// panic backtrace.
+    pub fn new(
+        catalog: &Catalog,
+        site_names: &[&str],
+        cfg: GroupSimConfig,
+    ) -> Result<GroupSim, SimError> {
+        if site_names.is_empty() {
+            return Err(SimError::NoSites);
+        }
         let field = catalog.field();
         let sites: Vec<SiteState> = site_names
             .iter()
             .map(|name| {
                 let site = catalog
                     .get(name)
-                    .unwrap_or_else(|| panic!("unknown site {name}"))
+                    .ok_or_else(|| SimError::UnknownSite(name.to_string()))?
                     .clone();
                 let actual = generate_in(&site, cfg.start_day, cfg.days, field);
                 let f3 = forecast_for(&actual, &site, Horizon::Hours3, field);
                 let fd = forecast_for(&actual, &site, Horizon::DayAhead, field);
                 let fw = forecast_for(&actual, &site, Horizon::WeekAhead, field);
-                SiteState {
+                Ok(SiteState {
                     site,
                     actual,
                     f3,
@@ -246,9 +277,9 @@ impl GroupSim {
                     apps: Vec::new(),
                     allocated_cores: 0,
                     budget_cores: cfg.cores_per_site,
-                }
+                })
             })
-            .collect();
+            .collect::<Result<_, SimError>>()?;
 
         let n_steps = (cfg.days as u64) * 96;
         let app_cfg = cfg.app_cfg.clone().unwrap_or_else(|| {
@@ -263,7 +294,7 @@ impl GroupSim {
             AppGenConfig::sized_for(target)
         });
         let gen = AppGen::new(app_cfg, cfg.seed);
-        GroupSim {
+        let sim = GroupSim {
             cfg,
             sites,
             apps: Vec::new(),
@@ -275,7 +306,8 @@ impl GroupSim {
             dropped_apps: 0,
             moved_at: std::collections::HashMap::new(),
             pending_moves: std::collections::VecDeque::new(),
-        }
+        };
+        Ok(sim)
     }
 
     /// Total steps the run covers.
@@ -672,8 +704,7 @@ impl GroupSim {
                 self.apps[a.0]
                     .spec
                     .mem_gb()
-                    .partial_cmp(&self.apps[b.0].spec.mem_gb())
-                    .expect("finite")
+                    .total_cmp(&self.apps[b.0].spec.mem_gb())
             });
             for id in victims {
                 if deficit <= 0.0 || moved >= self.cfg.moves_per_step {
@@ -737,7 +768,7 @@ impl GroupSim {
                 }
             }
         }
-        out.sort_by(|a, b| b.mem_gb.partial_cmp(&a.mem_gb).expect("finite"));
+        out.sort_by(|a, b| b.mem_gb.total_cmp(&a.mem_gb));
         out.truncate(self.cfg.max_movable);
         out
     }
@@ -884,7 +915,8 @@ mod tests {
 
     #[test]
     fn greedy_run_completes_and_accounts() {
-        let sim = GroupSim::new(&catalog(), &["NO-solar", "UK-wind", "PT-wind"], tiny_cfg());
+        let sim =
+            GroupSim::new(&catalog(), &["NO-solar", "UK-wind", "PT-wind"], tiny_cfg()).unwrap();
         let n = sim.n_steps() as usize;
         let summary = sim.run(&mut GreedyPolicy::new());
         assert_eq!(summary.per_step_gb.len(), n);
@@ -897,8 +929,10 @@ mod tests {
     #[test]
     fn runs_are_deterministic_per_seed() {
         let a = GroupSim::new(&catalog(), &["UK-wind", "PT-wind"], tiny_cfg())
+            .unwrap()
             .run(&mut GreedyPolicy::new());
         let b = GroupSim::new(&catalog(), &["UK-wind", "PT-wind"], tiny_cfg())
+            .unwrap()
             .run(&mut GreedyPolicy::new());
         assert_eq!(a.per_step_gb, b.per_step_gb);
         assert_eq!(a.total_gb, b.total_gb);
@@ -906,7 +940,7 @@ mod tests {
 
     #[test]
     fn mip_run_completes_without_fallbacks() {
-        let sim = GroupSim::new(&catalog(), &["UK-wind", "PT-wind"], tiny_cfg());
+        let sim = GroupSim::new(&catalog(), &["UK-wind", "PT-wind"], tiny_cfg()).unwrap();
         let mut policy = MipPolicy::new(MipConfig::mip_24h());
         let summary = sim.run(&mut policy);
         assert_eq!(summary.policy, "MIP-24h");
@@ -917,9 +951,11 @@ mod tests {
     fn multi_site_beats_single_site_on_availability() {
         // The §2.3 claim: aggregating complementary sites reduces
         // unavailability for stable applications.
-        let single =
-            GroupSim::new(&catalog(), &["NO-solar"], tiny_cfg()).run(&mut GreedyPolicy::new());
+        let single = GroupSim::new(&catalog(), &["NO-solar"], tiny_cfg())
+            .unwrap()
+            .run(&mut GreedyPolicy::new());
         let multi = GroupSim::new(&catalog(), &["NO-solar", "UK-wind", "PT-wind"], tiny_cfg())
+            .unwrap()
             .run(&mut GreedyPolicy::new());
         assert!(
             multi.unavailable_app_steps < single.unavailable_app_steps,
@@ -932,11 +968,25 @@ mod tests {
     #[test]
     fn per_step_volumes_are_nonnegative_and_finite() {
         let summary = GroupSim::new(&catalog(), &["UK-wind", "PT-wind"], tiny_cfg())
+            .unwrap()
             .run(&mut GreedyPolicy::new());
         assert!(summary
             .per_step_gb
             .iter()
             .all(|&v| v >= 0.0 && v.is_finite()));
+    }
+
+    #[test]
+    fn bad_site_names_are_diagnosed_not_panicked() {
+        let err = GroupSim::new(&catalog(), &["Atlantis-wave"], tiny_cfg())
+            .err()
+            .expect("unknown site must be rejected");
+        assert_eq!(err, SimError::UnknownSite("Atlantis-wave".into()));
+        assert!(err.to_string().contains("Atlantis-wave"));
+        let err = GroupSim::new(&catalog(), &[], tiny_cfg())
+            .err()
+            .expect("empty group must be rejected");
+        assert_eq!(err, SimError::NoSites);
     }
 }
 
@@ -960,8 +1010,9 @@ mod subgraph_tests {
     fn subgraph_restriction_runs_and_bounds_targets() {
         let catalog = Catalog::europe(42);
         let names = ["NO-solar", "UK-wind", "PT-wind", "ES-wind"];
-        let summary =
-            GroupSim::new(&catalog, &names, cfg_with_groups()).run(&mut GreedyPolicy::new());
+        let summary = GroupSim::new(&catalog, &names, cfg_with_groups())
+            .unwrap()
+            .run(&mut GreedyPolicy::new());
         assert_eq!(summary.per_step_gb.len(), 2 * 96);
         assert!(summary.per_step_gb.iter().all(|&v| v >= 0.0));
     }
@@ -970,7 +1021,7 @@ mod subgraph_tests {
     fn movable_targets_respect_groups() {
         let catalog = Catalog::europe(42);
         let names = ["NO-solar", "UK-wind", "PT-wind", "ES-wind"];
-        let sim = GroupSim::new(&catalog, &names, cfg_with_groups());
+        let sim = GroupSim::new(&catalog, &names, cfg_with_groups()).unwrap();
         assert_eq!(sim.movable_targets(0), vec![0, 1]);
         assert_eq!(sim.movable_targets(3), vec![2, 3]);
         // Ungrouped default covers every site.
@@ -982,7 +1033,8 @@ mod subgraph_tests {
                 days: 1,
                 ..GroupSimConfig::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(open.movable_targets(1), vec![0, 1, 2, 3]);
     }
 
@@ -992,13 +1044,16 @@ mod subgraph_tests {
         // so the ungrouped run must have no more stranded app-steps.
         let catalog = Catalog::europe(42);
         let names = ["NO-solar", "UK-wind", "PT-wind", "ES-wind"];
-        let grouped =
-            GroupSim::new(&catalog, &names, cfg_with_groups()).run(&mut GreedyPolicy::new());
+        let grouped = GroupSim::new(&catalog, &names, cfg_with_groups())
+            .unwrap()
+            .run(&mut GreedyPolicy::new());
         let open_cfg = GroupSimConfig {
             subgraphs: None,
             ..cfg_with_groups()
         };
-        let open = GroupSim::new(&catalog, &names, open_cfg).run(&mut GreedyPolicy::new());
+        let open = GroupSim::new(&catalog, &names, open_cfg)
+            .unwrap()
+            .run(&mut GreedyPolicy::new());
         assert!(
             open.unavailable_app_steps <= grouped.unavailable_app_steps,
             "open {} vs grouped {}",

@@ -6,11 +6,23 @@
 //! splits. Nodes are explored best-bound-first, so the first incumbent
 //! found tends to be good and pruning is effective. The search is exact:
 //! it terminates with the true optimum (or `Infeasible`).
+//!
+//! Child nodes **warm-start** from their parent's optimal basis: each
+//! node keeps the [`simplex::SimplexState`] of its relaxation (shared
+//! via `Rc` — branching only changes one variable's bounds, never the
+//! constraint matrix), and the child repairs primal feasibility with a
+//! dual-simplex phase instead of re-running two full phases from the
+//! all-slack basis. The rounding dive chains warm starts the same way.
+//! Warm and cold solves reach the same optima (pivot order may differ on
+//! degenerate ties, so alternate optimal *vertices* are possible);
+//! [`solve_mip_bounded_with`] exposes a cold mode for differential tests
+//! and pivot-count comparisons.
 
 use crate::model::{Model, Sense, Solution, SolveError, VarId};
-use crate::simplex;
+use crate::simplex::{self, SimplexState};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 
 /// Integrality tolerance: values this close to an integer count as
 /// integral.
@@ -32,6 +44,20 @@ pub fn solve_mip(model: &Model) -> Result<Solution, SolveError> {
 /// produces an incumbent almost immediately, so bounded solves rarely
 /// fail outright.
 pub fn solve_mip_bounded(model: &Model, max_nodes: usize) -> Result<Solution, SolveError> {
+    solve_mip_bounded_with(model, max_nodes, true)
+}
+
+/// [`solve_mip_bounded`] with explicit control over warm starting.
+///
+/// `warm_start: false` re-solves every node's relaxation from the
+/// all-slack basis — the pre-warm-start behaviour, kept for differential
+/// testing and for measuring the pivot savings via the `solver.pivots`
+/// telemetry counter.
+pub fn solve_mip_bounded_with(
+    model: &Model,
+    max_nodes: usize,
+    warm_start: bool,
+) -> Result<Solution, SolveError> {
     let _span = vb_telemetry::span!("solver.mip_solve");
     vb_telemetry::counter!("solver.mip_solves").inc();
     let int_vars: Vec<VarId> = model
@@ -42,8 +68,9 @@ pub fn solve_mip_bounded(model: &Model, max_nodes: usize) -> Result<Solution, So
         .map(|(i, _)| VarId(i))
         .collect();
 
-    // Root relaxation.
-    let root = simplex::solve_lp(model, &[])?;
+    // Root relaxation is always a cold solve.
+    let (root, root_state) = simplex::solve_lp_state(model, &[], None)?;
+    let root_state = Rc::new(root_state);
 
     let better = |a: f64, b: f64| match model.sense {
         Sense::Minimize => a < b - 1e-9,
@@ -56,12 +83,13 @@ pub fn solve_mip_bounded(model: &Model, max_nodes: usize) -> Result<Solution, So
         sense: model.sense,
         overrides: Vec::new(),
         relaxed: root.clone(),
+        state: Rc::clone(&root_state),
     });
 
     // Rounding dive from the root: fix the most fractional variable to
     // its nearest integer and re-solve until integral. This produces an
     // incumbent in ~|int_vars| LP solves, making bounded solves anytime.
-    let mut incumbent: Option<Solution> = dive(model, &int_vars, root);
+    let mut incumbent: Option<Solution> = dive(model, &int_vars, root, &root_state, warm_start);
     let mut explored = 0usize;
     let mut pruned = 0u64;
     let mut improvements = 0u64;
@@ -106,7 +134,9 @@ pub fn solve_mip_bounded(model: &Model, max_nodes: usize) -> Result<Solution, So
                     }
                     overrides.retain(|&(v, _, _)| v != var);
                     overrides.push((var, new_lb, new_ub));
-                    if let Ok(relaxed) = simplex::solve_lp(model, &overrides) {
+                    let parent = warm_start.then(|| &*node.state);
+                    if let Ok((relaxed, state)) = simplex::solve_lp_state(model, &overrides, parent)
+                    {
                         let keep = incumbent
                             .as_ref()
                             .is_none_or(|inc| better(relaxed.objective, inc.objective));
@@ -116,6 +146,7 @@ pub fn solve_mip_bounded(model: &Model, max_nodes: usize) -> Result<Solution, So
                                 sense: model.sense,
                                 overrides,
                                 relaxed,
+                                state: Rc::new(state),
                             });
                         }
                     }
@@ -139,9 +170,17 @@ pub fn solve_mip_bounded(model: &Model, max_nodes: usize) -> Result<Solution, So
 /// Greedy rounding dive: repeatedly fix the most fractional integer
 /// variable to its nearest value (trying the other direction on
 /// infeasibility) until the relaxation is integral. Returns the rounded
-/// solution when the dive survives to the bottom.
-fn dive(model: &Model, int_vars: &[VarId], mut relaxed: Solution) -> Option<Solution> {
+/// solution when the dive survives to the bottom. Each fix warm-starts
+/// from the previous level's basis.
+fn dive(
+    model: &Model,
+    int_vars: &[VarId],
+    mut relaxed: Solution,
+    root_state: &SimplexState,
+    warm_start: bool,
+) -> Option<Solution> {
     let mut overrides: Vec<(VarId, f64, f64)> = Vec::new();
+    let mut state = root_state.clone();
     loop {
         let Some((var, value)) = most_fractional(&relaxed, int_vars) else {
             return Some(snap(&relaxed, int_vars));
@@ -159,9 +198,11 @@ fn dive(model: &Model, int_vars: &[VarId], mut relaxed: Solution) -> Option<Solu
             let mut trial = overrides.clone();
             trial.retain(|&(v, _, _)| v != var);
             trial.push((var, candidate, candidate));
-            if let Ok(sol) = simplex::solve_lp(model, &trial) {
+            let parent = warm_start.then_some(&state);
+            if let Ok((sol, st)) = simplex::solve_lp_state(model, &trial, parent) {
                 overrides = trial;
                 relaxed = sol;
+                state = st;
                 fixed = true;
                 break;
             }
@@ -207,12 +248,14 @@ fn snap(sol: &Solution, int_vars: &[VarId]) -> Solution {
 }
 
 /// Branch & bound search node, ordered so the heap pops the best bound
-/// first (largest for maximisation, smallest for minimisation).
+/// first (largest for maximisation, smallest for minimisation). Carries
+/// the node's optimal simplex state so children can warm-start from it.
 struct Node {
     bound: f64,
     sense: Sense,
     overrides: Vec<(VarId, f64, f64)>,
     relaxed: Solution,
+    state: Rc<SimplexState>,
 }
 
 impl PartialEq for Node {
@@ -228,10 +271,7 @@ impl PartialOrd for Node {
 }
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
-        let ord = self
-            .bound
-            .partial_cmp(&other.bound)
-            .unwrap_or(Ordering::Equal);
+        let ord = self.bound.total_cmp(&other.bound);
         match self.sense {
             Sense::Maximize => ord,
             Sense::Minimize => ord.reverse(),
@@ -378,5 +418,76 @@ mod tests {
         let s = m.solve().unwrap();
         // Best split: 5 on one site, 3 on the other -> peak 5.
         assert!((s.objective - 5.0).abs() < 1e-6, "obj {}", s.objective);
+    }
+
+    /// A placement-shaped MIP: `apps` binaries per site, each app on
+    /// exactly one site, per-site capacity, cost per placement.
+    fn placement_model(apps: usize, sites: usize, seed: u64) -> Model {
+        let mut rng = seed;
+        let mut next = || {
+            // SplitMix64 — deterministic, no external RNG needed here.
+            rng = rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = rng;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31)) as f64 / u64::MAX as f64
+        };
+        let mut m = Model::new(Sense::Minimize);
+        let mut x = vec![vec![]; apps];
+        for (a, row) in x.iter_mut().enumerate() {
+            for s in 0..sites {
+                row.push(m.bin_var(&format!("a{a}s{s}")));
+            }
+        }
+        for row in &x {
+            let terms: Vec<(VarId, f64)> = row.iter().map(|&v| (v, 1.0)).collect();
+            let e = m.expr(&terms);
+            m.add_eq(e, 1.0);
+        }
+        let sizes: Vec<f64> = (0..apps).map(|_| 1.0 + (next() * 3.0).round()).collect();
+        for s in 0..sites {
+            let terms: Vec<(VarId, f64)> = x.iter().zip(&sizes).map(|(r, &c)| (r[s], c)).collect();
+            let e = m.expr(&terms);
+            let cap = sizes.iter().sum::<f64>() / sites as f64 * 1.6 + 2.0;
+            m.add_le(e, cap);
+        }
+        let mut obj_terms = Vec::new();
+        for row in &x {
+            for &v in row {
+                obj_terms.push((v, (next() * 10.0).round() + 1.0));
+            }
+        }
+        let e = m.expr(&obj_terms);
+        m.set_objective(e);
+        m
+    }
+
+    #[test]
+    fn warm_and_cold_branch_and_bound_agree() {
+        // Warm-started B&B must reach the same optimum as cold-started
+        // B&B on placement-shaped MIPs (the Table 1 workload shape).
+        for seed in 0..8u64 {
+            let m = placement_model(6, 3, seed * 7 + 1);
+            let warm = solve_mip_bounded_with(&m, MAX_NODES, true).unwrap();
+            let cold = solve_mip_bounded_with(&m, MAX_NODES, false).unwrap();
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-6,
+                "seed {seed}: warm {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_solves_are_deterministic() {
+        // Fixed pivot tie-breaking: the same model must produce the
+        // same placement vector every time, warm or not.
+        let m = placement_model(6, 3, 42);
+        let first = solve_mip(&m).unwrap();
+        for _ in 0..3 {
+            let again = solve_mip(&m).unwrap();
+            assert_eq!(first.values(), again.values());
+        }
     }
 }

@@ -11,10 +11,15 @@
 //! * [`model`] — a small modelling layer: variables with bounds and
 //!   integrality, linear expressions, `≤ / ≥ / =` constraints, and a
 //!   minimise/maximise objective.
-//! * [`simplex`] — a dense two-phase primal simplex for the LP
-//!   relaxations, with a Bland-rule fallback for anti-cycling.
+//! * [`simplex`] — a dense bounded-variable primal simplex for the LP
+//!   relaxations (variable bounds never become tableau rows), with a
+//!   dual-simplex warm-start path and a Bland-rule fallback for
+//!   anti-cycling.
 //! * [`branch`] — best-first branch & bound on fractional integer
-//!   variables, giving exact MIP optima.
+//!   variables, giving exact MIP optima; child nodes warm-start from
+//!   their parent's optimal basis.
+//! * [`dense`] — the original row-expansion two-phase simplex, kept as
+//!   an independent oracle for differential testing.
 //!
 //! The scheduler's MIPs are small (tens to a few hundred variables), so
 //! a dense exact method is both simpler and sufficient; a commercial
@@ -36,6 +41,7 @@
 //! ```
 
 pub mod branch;
+pub mod dense;
 pub mod model;
 pub mod simplex;
 

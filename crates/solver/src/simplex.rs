@@ -1,22 +1,40 @@
-//! Dense two-phase primal simplex.
+//! Bounded-variable primal simplex with a dual-simplex warm-start path.
 //!
-//! Solves the LP relaxation of a [`Model`]. The implementation follows
-//! the textbook construction:
+//! Solves the LP relaxation of a [`Model`]. Unlike the textbook
+//! row-expansion construction (retained in [`crate::dense`] as a
+//! differential-testing oracle), variable bounds here never become
+//! tableau rows: every variable — structural or logical — carries its
+//! own `[lb, ub]` interval, nonbasic variables sit at *either* bound,
+//! and the ratio test admits **bound flips** (a nonbasic variable
+//! jumping from one finite bound to the other without a pivot). A model
+//! with thousands of placement binaries therefore solves on a tableau
+//! with one row per *constraint* only.
 //!
-//! 1. **Standardise** — shift every variable by its lower bound so all
-//!    variables are ≥ 0, turn finite upper bounds into extra `≤` rows,
-//!    normalise right-hand sides to be non-negative, and add slack /
-//!    surplus / artificial columns per constraint type.
-//! 2. **Phase 1** — minimise the sum of artificials from the all-slack /
-//!    all-artificial basis; a positive optimum means infeasible,
-//!    otherwise artificials are driven out of the basis (or their rows
-//!    are redundant).
-//! 3. **Phase 2** — minimise the real objective (maximisation is solved
-//!    by negation) with artificial columns barred from entering.
+//! The engine exposes its final state ([`SimplexState`]) so branch &
+//! bound can **warm-start** child nodes: a child clones its parent's
+//! optimal tableau, applies the branching bound change (which preserves
+//! dual feasibility — reduced costs do not depend on bounds), repairs
+//! primal feasibility with a dual-simplex phase, and finishes with a
+//! primal clean-up pass. Typical children re-optimise in a handful of
+//! pivots instead of two full phases from the all-slack basis.
+//!
+//! Construction of a cold solve:
+//!
+//! 1. Every constraint `a·x ⋈ b` becomes an equality `a·x + s = b` with
+//!    a *logical* variable `s` bounded by the constraint type
+//!    (`≤`: `s ∈ [0, ∞)`, `≥`: `s ∈ (−∞, 0]`, `=`: `s ∈ [0, 0]`).
+//! 2. Structural variables start nonbasic at their lower bound; rows
+//!    whose residual fits the logical's interval take the logical as the
+//!    initial basic variable, the rest get a phase-1 artificial.
+//! 3. **Phase 1** minimises the sum of artificials (positive optimum ⇒
+//!    infeasible), then artificials are expelled and frozen at zero.
+//! 4. **Phase 2** minimises the real objective (maximisation by
+//!    negation) with artificials barred from entering.
 //!
 //! Pivoting uses Dantzig's rule with an automatic switch to Bland's rule
-//! after a fixed number of iterations, which guarantees termination even
-//! on degenerate (cycling-prone) instances.
+//! after a fixed number of iterations, and all tie-breaks are by lowest
+//! index, so solves are deterministic for a given model — Table 1 /
+//! Fig 4 outputs stay reproducible.
 
 use crate::model::{Cmp, Model, Sense, Solution, SolveError, VarId};
 
@@ -24,7 +42,7 @@ use crate::model::{Cmp, Model, Sense, Solution, SolveError, VarId};
 const EPS: f64 = 1e-9;
 /// Reduced-cost optimality tolerance.
 const COST_EPS: f64 = 1e-7;
-/// Phase-1 feasibility tolerance.
+/// Primal feasibility tolerance (phase 1 and dual-simplex repair).
 const FEAS_EPS: f64 = 1e-6;
 /// Iterations of Dantzig pivoting before switching to Bland's rule.
 const BLAND_AFTER: usize = 2_000;
@@ -35,11 +53,27 @@ pub fn solve_lp(
     model: &Model,
     bound_overrides: &[(VarId, f64, f64)],
 ) -> Result<Solution, SolveError> {
+    solve_lp_state(model, bound_overrides, None).map(|(sol, _)| sol)
+}
+
+/// Solve a model's LP relaxation and return the optimal simplex state
+/// alongside the solution.
+///
+/// When `warm` carries the final state of a previous solve of the *same
+/// model* (only bounds may differ — exactly the branch & bound setting),
+/// the solve starts from that basis and repairs feasibility with a
+/// dual-simplex phase instead of running two full phases; if the repair
+/// stalls it falls back to a cold solve, so the result is identical
+/// either way up to degenerate alternate optima.
+pub fn solve_lp_state(
+    model: &Model,
+    bound_overrides: &[(VarId, f64, f64)],
+    warm: Option<&SimplexState>,
+) -> Result<(Solution, SimplexState), SolveError> {
     let _span = vb_telemetry::span!("solver.lp_solve");
     vb_telemetry::counter!("solver.lp_solves").inc();
-    let n = model.vars.len();
 
-    // Effective bounds.
+    let n = model.vars.len();
     let mut lb: Vec<f64> = model.vars.iter().map(|v| v.lb).collect();
     let mut ub: Vec<f64> = model.vars.iter().map(|v| v.ub).collect();
     for &(v, l, u) in bound_overrides {
@@ -50,261 +84,552 @@ pub fn solve_lp(
         if lb[j] > ub[j] + EPS {
             return Err(SolveError::Infeasible);
         }
-    }
-
-    // Collect rows: model constraints plus upper-bound rows, expressed
-    // over the shifted variables y = x - lb (so y >= 0).
-    struct Row {
-        coefs: Vec<f64>,
-        cmp: Cmp,
-        rhs: f64,
-    }
-    let mut rows: Vec<Row> = Vec::with_capacity(model.constraints.len() + n);
-    for c in &model.constraints {
-        // Constraints created before later variables were added carry
-        // shorter coefficient vectors; pad them with zeros.
-        let mut coefs = c.coefs.clone();
-        coefs.resize(n, 0.0);
-        let shift: f64 = coefs.iter().zip(&lb).map(|(a, l)| a * l).sum();
-        rows.push(Row {
-            coefs,
-            cmp: c.cmp,
-            rhs: c.rhs - shift,
-        });
-    }
-    for j in 0..n {
-        if ub[j].is_finite() {
-            let mut coefs = vec![0.0; n];
-            coefs[j] = 1.0;
-            rows.push(Row {
-                coefs,
-                cmp: Cmp::Le,
-                rhs: ub[j] - lb[j],
-            });
+        if !lb[j].is_finite() {
+            return Err(SolveError::BadModel(format!(
+                "variable {} must have a finite lower bound",
+                model.vars[j].name
+            )));
         }
     }
 
-    // Normalise to non-negative rhs.
-    for r in rows.iter_mut() {
-        if r.rhs < 0.0 {
-            r.rhs = -r.rhs;
-            for a in r.coefs.iter_mut() {
-                *a = -*a;
-            }
-            r.cmp = match r.cmp {
-                Cmp::Le => Cmp::Ge,
-                Cmp::Ge => Cmp::Le,
-                Cmp::Eq => Cmp::Eq,
-            };
-        }
-    }
-
-    // Column layout: [structural | slacks+surplus | artificials | rhs].
-    let m = rows.len();
-    let n_slack = rows
-        .iter()
-        .filter(|r| matches!(r.cmp, Cmp::Le | Cmp::Ge))
-        .count();
-    let n_art = rows
-        .iter()
-        .filter(|r| matches!(r.cmp, Cmp::Ge | Cmp::Eq))
-        .count();
-    let cols = n + n_slack + n_art;
-    let art_start = n + n_slack;
-
-    let mut a = vec![vec![0.0; cols + 1]; m];
-    let mut basis = vec![usize::MAX; m];
-    let mut next_slack = n;
-    let mut next_art = art_start;
-    for (i, r) in rows.iter().enumerate() {
-        a[i][..n].copy_from_slice(&r.coefs);
-        a[i][cols] = r.rhs;
-        match r.cmp {
-            Cmp::Le => {
-                a[i][next_slack] = 1.0;
-                basis[i] = next_slack;
-                next_slack += 1;
-            }
-            Cmp::Ge => {
-                a[i][next_slack] = -1.0;
-                next_slack += 1;
-                a[i][next_art] = 1.0;
-                basis[i] = next_art;
-                next_art += 1;
-            }
-            Cmp::Eq => {
-                a[i][next_art] = 1.0;
-                basis[i] = next_art;
-                next_art += 1;
-            }
-        }
-    }
-
-    let mut t = Tableau {
-        a,
-        basis,
-        m,
-        cols,
-        art_start,
-    };
-
-    // Phase 1: minimise the sum of artificials. The cost row is the
-    // negative sum of rows whose basic variable is artificial (pricing
-    // out the initial basis).
-    if n_art > 0 {
-        let mut cost = vec![0.0; t.cols + 1];
-        for c in cost.iter_mut().take(t.cols).skip(art_start) {
-            *c = 1.0;
-        }
-        for i in 0..t.m {
-            if t.basis[i] >= art_start {
-                for (j, c) in cost.iter_mut().enumerate().take(t.cols + 1) {
-                    *c -= t.a[i][j];
+    if let Some(parent) = warm {
+        if parent.n == n && parent.m == model.constraints.len() {
+            match warm_solve(model, &lb, &ub, parent) {
+                Ok(done) => {
+                    vb_telemetry::counter!("solver.warm_start_hits").inc();
+                    return Ok(done);
                 }
+                // A proven-infeasible child is a successful warm start.
+                Err(SolveError::Infeasible) => {
+                    vb_telemetry::counter!("solver.warm_start_hits").inc();
+                    return Err(SolveError::Infeasible);
+                }
+                // Numerical trouble: re-solve from scratch.
+                Err(_) => vb_telemetry::counter!("solver.warm_start_misses").inc(),
             }
+        } else {
+            vb_telemetry::counter!("solver.warm_start_misses").inc();
         }
-        t.iterate(&mut cost, t.cols)?; // artificials may pivot in phase 1
-        let phase1_obj = -cost[t.cols];
-        if phase1_obj > FEAS_EPS {
-            return Err(SolveError::Infeasible);
-        }
-        t.expel_artificials();
     }
 
-    // Phase 2: the real objective over shifted variables (min sense).
-    let sign = match model.sense {
-        Sense::Minimize => 1.0,
-        Sense::Maximize => -1.0,
-    };
-    let mut c_struct = vec![0.0; n];
-    for &(v, coef) in &model.objective {
-        c_struct[v.0] += sign * coef;
-    }
-    let mut cost = vec![0.0; t.cols + 1];
-    cost[..n].copy_from_slice(&c_struct);
-    // Price out the current basis.
-    for i in 0..t.m {
-        let b = t.basis[i];
-        let cb = if b < n { c_struct[b] } else { 0.0 };
-        if cb != 0.0 {
-            for (j, c) in cost.iter_mut().enumerate().take(t.cols + 1) {
-                *c -= cb * t.a[i][j];
-            }
-        }
-    }
-    t.iterate(&mut cost, t.art_start)?;
-
-    // Extract x = y + lb and the objective in the model's sense.
-    let mut x = lb.clone();
-    for i in 0..t.m {
-        if t.basis[i] < n {
-            x[t.basis[i]] += t.a[i][t.cols];
-        }
-    }
-    let shifted_obj = -cost[t.cols]; // value of min(sign·c'y)
-    let const_part: f64 = model
-        .objective
-        .iter()
-        .map(|&(v, coef)| coef * lb[v.0])
-        .sum::<f64>()
-        + model.objective_const;
-    let objective = sign * shifted_obj + const_part;
-    Ok(Solution::new(objective, x))
+    cold_solve(model, lb, ub)
 }
 
-struct Tableau {
-    /// `m × (cols + 1)` rows; the last column is the rhs.
+/// Full two-phase bounded-variable solve from the logical basis.
+fn cold_solve(
+    model: &Model,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+) -> Result<(Solution, SimplexState), SolveError> {
+    let mut st = SimplexState::build(model, lb, ub);
+    vb_telemetry::histogram!("solver.tableau_rows").observe(st.m as f64);
+
+    // Phase 1: minimise the sum of artificials.
+    if st.art_start < st.cols {
+        let mut c1 = vec![0.0; st.cols];
+        for c in c1.iter_mut().skip(st.art_start) {
+            *c = 1.0;
+        }
+        let mut d = st.reduced_costs(&c1);
+        st.iterate(&mut d, st.cols)?; // artificials may pivot in phase 1
+        let infeas: f64 = (0..st.m)
+            .filter(|&i| st.basis[i] >= st.art_start)
+            .map(|i| st.a[i][st.cols])
+            .sum();
+        if infeas > FEAS_EPS {
+            return Err(SolveError::Infeasible);
+        }
+        st.expel_and_freeze_artificials(&mut d);
+    }
+
+    // Phase 2: the real objective, artificials barred from entering.
+    let c2 = st.phase2_costs(model);
+    let mut d = st.reduced_costs(&c2);
+    st.iterate(&mut d, st.art_start)?;
+
+    let sol = st.extract(model);
+    Ok((sol, st))
+}
+
+/// Re-optimise `parent` under new structural bounds: dual-simplex repair
+/// followed by a primal clean-up pass.
+fn warm_solve(
+    model: &Model,
+    lb: &[f64],
+    ub: &[f64],
+    parent: &SimplexState,
+) -> Result<(Solution, SimplexState), SolveError> {
+    let mut st = parent.clone();
+    st.apply_bounds(lb, ub)?;
+    let c2 = st.phase2_costs(model);
+    let mut d = st.reduced_costs(&c2);
+    st.dual_iterate(&mut d, st.art_start)?;
+    // The repair restores primal feasibility; reduced costs stayed dual
+    // feasible throughout, so this pass usually does zero pivots. It
+    // also mops up any nonbasic variable whose bound side had to switch.
+    st.iterate(&mut d, st.art_start)?;
+    let sol = st.extract(model);
+    Ok((sol, st))
+}
+
+/// Dense bounded-variable simplex tableau, reusable as a warm-start
+/// basis by later solves of the same model under different bounds.
+///
+/// Columns are laid out `[structural | logical (one per row) |
+/// artificial]`; the extra last column of `a` holds the *current value*
+/// of each row's basic variable (not the textbook `B⁻¹b` — nonbasic
+/// variables at nonzero bounds are folded in).
+#[derive(Debug, Clone)]
+pub struct SimplexState {
+    /// `m × (cols + 1)`; `a[i][cols]` is the basic variable's value.
     a: Vec<Vec<f64>>,
+    /// Basic column per row.
     basis: Vec<usize>,
+    /// Row index per column (`usize::MAX` when nonbasic).
+    basis_pos: Vec<usize>,
+    /// Which bound each nonbasic column currently sits at.
+    at_upper: Vec<bool>,
+    /// Per-column lower bounds (structural, then logical, artificial).
+    lb: Vec<f64>,
+    /// Per-column upper bounds.
+    ub: Vec<f64>,
+    /// Structural variable count.
+    n: usize,
+    /// Row count (model constraints only — bounds add no rows).
     m: usize,
+    /// Total column count.
     cols: usize,
-    /// First artificial column index.
+    /// First artificial column (== `cols` when phase 1 was not needed).
     art_start: usize,
 }
 
-impl Tableau {
-    /// Run simplex iterations on the given cost row until optimal.
-    /// Columns at `col_limit` and beyond may not enter the basis.
-    fn iterate(&mut self, cost: &mut [f64], col_limit: usize) -> Result<(), SolveError> {
+/// Outcome of the primal ratio test.
+enum Step {
+    /// The entering variable travels to its opposite bound; no pivot.
+    Flip,
+    /// A basic variable blocks first and leaves at the given bound.
+    Pivot {
+        row: usize,
+        target: f64,
+        leave_at_upper: bool,
+    },
+    /// Nothing blocks: the objective is unbounded.
+    Unbounded,
+}
+
+impl SimplexState {
+    /// Build the initial tableau: logicals basic where the residual fits
+    /// their interval, artificials elsewhere.
+    fn build(model: &Model, mut lb: Vec<f64>, mut ub: Vec<f64>) -> SimplexState {
+        let n = model.vars.len();
+        let m = model.constraints.len();
+
+        // Residual of each row with all structurals at their lower bound.
+        let mut resid = Vec::with_capacity(m);
+        for c in &model.constraints {
+            let dot: f64 = c.coefs.iter().zip(&lb).map(|(a, l)| a * l).sum();
+            resid.push(c.rhs - dot);
+        }
+        let needs_art: Vec<bool> = model
+            .constraints
+            .iter()
+            .zip(&resid)
+            .map(|(c, &r)| match c.cmp {
+                Cmp::Le => r < 0.0,
+                Cmp::Ge => r > 0.0,
+                Cmp::Eq => r.abs() > EPS,
+            })
+            .collect();
+        let n_art = needs_art.iter().filter(|&&x| x).count();
+        let art_start = n + m;
+        let cols = art_start + n_art;
+
+        // Logical bounds per constraint type.
+        for c in &model.constraints {
+            match c.cmp {
+                Cmp::Le => {
+                    lb.push(0.0);
+                    ub.push(f64::INFINITY);
+                }
+                Cmp::Ge => {
+                    lb.push(f64::NEG_INFINITY);
+                    ub.push(0.0);
+                }
+                Cmp::Eq => {
+                    lb.push(0.0);
+                    ub.push(0.0);
+                }
+            }
+        }
+        // Artificials live in [0, ∞) during phase 1.
+        lb.resize(cols, 0.0);
+        ub.resize(cols, f64::INFINITY);
+
+        let mut a = vec![vec![0.0; cols + 1]; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut at_upper = vec![false; cols];
+        let mut next_art = art_start;
+        for (i, c) in model.constraints.iter().enumerate() {
+            // Constraints created before later variables were added
+            // carry shorter coefficient vectors; the tail is zero.
+            a[i][..c.coefs.len().min(n)].copy_from_slice(&c.coefs[..c.coefs.len().min(n)]);
+            a[i][n + i] = 1.0; // logical
+            if needs_art[i] {
+                let sigma = if resid[i] >= 0.0 { 1.0 } else { -1.0 };
+                a[i][next_art] = sigma;
+                basis[i] = next_art;
+                next_art += 1;
+                if sigma < 0.0 {
+                    // Normalise so the basic column is +1.
+                    for v in a[i].iter_mut().take(cols) {
+                        *v = -*v;
+                    }
+                }
+                a[i][cols] = resid[i].abs();
+                // The row's own logical stays nonbasic at 0: that is the
+                // upper bound for `≥` logicals, the lower bound otherwise.
+                at_upper[n + i] = matches!(c.cmp, Cmp::Ge);
+            } else {
+                basis[i] = n + i;
+                a[i][cols] = resid[i];
+            }
+        }
+
+        let mut basis_pos = vec![usize::MAX; cols];
+        for (i, &b) in basis.iter().enumerate() {
+            basis_pos[b] = i;
+        }
+        SimplexState {
+            a,
+            basis,
+            basis_pos,
+            at_upper,
+            lb,
+            ub,
+            n,
+            m,
+            cols,
+            art_start,
+        }
+    }
+
+    /// Phase-2 cost vector: the objective over structurals, min sense.
+    fn phase2_costs(&self, model: &Model) -> Vec<f64> {
+        let sign = match model.sense {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        let mut c = vec![0.0; self.cols];
+        for &(v, coef) in &model.objective {
+            c[v.0] += sign * coef;
+        }
+        c
+    }
+
+    /// Reduced costs `d = c − c_B·B⁻¹A` for the current basis.
+    fn reduced_costs(&self, c: &[f64]) -> Vec<f64> {
+        let mut d = c.to_vec();
+        for i in 0..self.m {
+            let cb = c[self.basis[i]];
+            if cb != 0.0 {
+                for (dj, aij) in d.iter_mut().zip(&self.a[i]) {
+                    *dj -= cb * aij;
+                }
+            }
+        }
+        d
+    }
+
+    /// Current value of a nonbasic column (the bound it sits at).
+    fn nonbasic_value(&self, j: usize) -> f64 {
+        if self.at_upper[j] {
+            self.ub[j]
+        } else {
+            self.lb[j]
+        }
+    }
+
+    /// Retarget structural bounds (warm start). Nonbasic structurals are
+    /// re-seated on a finite bound under the new interval and the basic
+    /// values are adjusted for any value shift; basic structurals only
+    /// get their interval updated (the dual repair restores feasibility).
+    fn apply_bounds(&mut self, lb: &[f64], ub: &[f64]) -> Result<(), SolveError> {
+        for j in 0..self.n {
+            let (nl, nu) = (lb[j], ub[j]);
+            if self.basis_pos[j] == usize::MAX {
+                let old = self.nonbasic_value(j);
+                let (new, up) = if self.at_upper[j] {
+                    if nu.is_finite() {
+                        (nu, true)
+                    } else {
+                        (nl, false)
+                    }
+                } else if nl.is_finite() {
+                    (nl, false)
+                } else {
+                    (nu, true)
+                };
+                if !new.is_finite() {
+                    return Err(SolveError::BadModel(
+                        "warm start requires a finite bound per nonbasic variable".into(),
+                    ));
+                }
+                let delta = new - old;
+                if delta != 0.0 {
+                    for i in 0..self.m {
+                        let shift = self.a[i][j] * delta;
+                        self.a[i][self.cols] -= shift;
+                    }
+                }
+                self.at_upper[j] = up;
+            }
+            self.lb[j] = nl;
+            self.ub[j] = nu;
+        }
+        Ok(())
+    }
+
+    /// Primal bounded-variable simplex on reduced costs `d` until no
+    /// nonbasic column priced below `col_limit` can improve. Bound flips
+    /// and pivots both count toward the iteration cap.
+    fn iterate(&mut self, d: &mut [f64], col_limit: usize) -> Result<(), SolveError> {
         let max_iter = 20_000 + 100 * (self.m + self.cols);
         let mut pivots = 0u64;
+        let mut flips = 0u64;
         let mut degenerate = 0u64;
         let result = (|| {
             for iter in 0..max_iter {
                 let bland = iter >= BLAND_AFTER;
-                let Some(enter) = self.choose_entering(cost, col_limit, bland) else {
+                let Some(enter) = self.choose_entering(d, col_limit, bland) else {
                     return Ok(());
                 };
-                let Some(leave) = self.choose_leaving(enter) else {
-                    return Err(SolveError::Unbounded);
-                };
-                // A (near-)zero rhs in the leaving row means this pivot
-                // cannot improve the objective: a degeneracy step.
-                if self.a[leave][self.cols].abs() <= EPS {
-                    degenerate += 1;
+                // Direction the entering variable moves: up from its
+                // lower bound, down from its upper bound.
+                let dir = if self.at_upper[enter] { -1.0 } else { 1.0 };
+                match self.ratio_test(enter, dir) {
+                    Step::Unbounded => return Err(SolveError::Unbounded),
+                    Step::Flip => {
+                        let span = self.ub[enter] - self.lb[enter];
+                        let delta = dir * span;
+                        for i in 0..self.m {
+                            let shift = self.a[i][enter] * delta;
+                            self.a[i][self.cols] -= shift;
+                        }
+                        self.at_upper[enter] = !self.at_upper[enter];
+                        flips += 1;
+                    }
+                    Step::Pivot {
+                        row,
+                        target,
+                        leave_at_upper,
+                    } => {
+                        if (self.a[row][self.cols] - target).abs() <= EPS {
+                            degenerate += 1;
+                        }
+                        self.pivot_to(row, enter, target, leave_at_upper, d);
+                        pivots += 1;
+                    }
                 }
-                self.pivot(leave, enter, cost);
-                pivots += 1;
             }
             Err(SolveError::IterationLimit)
         })();
-        vb_telemetry::counter!("solver.simplex_pivots").add(pivots);
+        vb_telemetry::counter!("solver.pivots").add(pivots);
+        if flips > 0 {
+            vb_telemetry::counter!("solver.bound_flips").add(flips);
+        }
         if degenerate > 0 {
             vb_telemetry::counter!("solver.degenerate_pivots").add(degenerate);
         }
         result
     }
 
-    /// Entering column: most negative reduced cost (Dantzig) or first
-    /// negative (Bland).
-    fn choose_entering(&self, cost: &[f64], col_limit: usize, bland: bool) -> Option<usize> {
-        if bland {
-            (0..col_limit).find(|&j| cost[j] < -COST_EPS)
-        } else {
-            let mut best = None;
-            let mut best_cost = -COST_EPS;
-            for (j, &cj) in cost.iter().enumerate().take(col_limit) {
-                if cj < best_cost {
-                    best_cost = cj;
-                    best = Some(j);
-                }
+    /// Entering column: largest reduced-cost violation (Dantzig) or
+    /// lowest-index violation (Bland). A nonbasic column at its lower
+    /// bound wants `d < 0`; one at its upper bound wants `d > 0`.
+    fn choose_entering(&self, d: &[f64], col_limit: usize, bland: bool) -> Option<usize> {
+        let mut best = None;
+        let mut best_score = COST_EPS;
+        for (j, &dj) in d.iter().enumerate().take(col_limit) {
+            if self.basis_pos[j] != usize::MAX || self.ub[j] - self.lb[j] <= EPS {
+                continue; // basic or fixed
             }
-            best
+            let score = if self.at_upper[j] { dj } else { -dj };
+            if score > best_score {
+                if bland {
+                    return Some(j);
+                }
+                best_score = score;
+                best = Some(j);
+            }
+        }
+        best
+    }
+
+    /// Bounded ratio test for `enter` moving in direction `dir`: the
+    /// tightest of (a) each basic variable hitting a bound and (b) the
+    /// entering variable reaching its opposite bound. Ties between rows
+    /// break on the smallest basic column index.
+    fn ratio_test(&self, enter: usize, dir: f64) -> Step {
+        let span = self.ub[enter] - self.lb[enter]; // may be ∞
+        let mut best_step = span;
+        let mut best: Option<(usize, f64, bool)> = None; // (row, target, at_upper)
+        for i in 0..self.m {
+            let rate = dir * self.a[i][enter];
+            let b = self.basis[i];
+            let value = self.a[i][self.cols];
+            // Moving `enter` by +step changes this basic by −rate·step.
+            let (limit, target, leave_at_upper) = if rate > EPS {
+                if self.lb[b].is_finite() {
+                    ((value - self.lb[b]) / rate, self.lb[b], false)
+                } else {
+                    continue;
+                }
+            } else if rate < -EPS {
+                if self.ub[b].is_finite() {
+                    ((self.ub[b] - value) / -rate, self.ub[b], true)
+                } else {
+                    continue;
+                }
+            } else {
+                continue;
+            };
+            let limit = limit.max(0.0); // tolerate tiny bound violations
+            let replaces = match best {
+                _ if limit < best_step - EPS => true,
+                Some((bi, _, _)) => limit < best_step + EPS && self.basis[i] < self.basis[bi],
+                None => limit < best_step + EPS && limit < span,
+            };
+            if replaces {
+                best_step = limit.min(best_step);
+                best = Some((i, target, leave_at_upper));
+            }
+        }
+        match best {
+            Some((row, target, leave_at_upper)) => Step::Pivot {
+                row,
+                target,
+                leave_at_upper,
+            },
+            None if span.is_finite() => Step::Flip,
+            None => Step::Unbounded,
         }
     }
 
-    /// Leaving row by minimum ratio test, ties broken by smallest basis
-    /// index (lexicographic tie-break helps avoid cycling).
-    fn choose_leaving(&self, enter: usize) -> Option<usize> {
-        let mut best: Option<(usize, f64)> = None;
-        for i in 0..self.m {
-            let aij = self.a[i][enter];
-            if aij > EPS {
-                let ratio = self.a[i][self.cols] / aij;
-                match best {
-                    None => best = Some((i, ratio)),
-                    Some((bi, br)) => {
-                        if ratio < br - EPS || (ratio < br + EPS && self.basis[i] < self.basis[bi])
-                        {
-                            best = Some((i, ratio));
-                        }
+    /// Dual simplex: while some basic variable violates its bounds, pick
+    /// the worst row, send its basic variable to the violated bound, and
+    /// bring in the nonbasic column that keeps the reduced costs dual
+    /// feasible (smallest `|d/α|`). Terminates when primal feasible;
+    /// errs `Infeasible` when a violated row admits no entering column
+    /// (a valid infeasibility certificate).
+    fn dual_iterate(&mut self, d: &mut [f64], col_limit: usize) -> Result<(), SolveError> {
+        let max_iter = 20_000 + 100 * (self.m + self.cols);
+        let mut pivots = 0u64;
+        let result = (|| {
+            for _ in 0..max_iter {
+                // Leaving row: the largest bound violation.
+                let mut leave: Option<(usize, f64, bool)> = None; // (row, viol, below)
+                for i in 0..self.m {
+                    let b = self.basis[i];
+                    let v = self.a[i][self.cols];
+                    let (viol, below) = if v < self.lb[b] - FEAS_EPS {
+                        (self.lb[b] - v, true)
+                    } else if v > self.ub[b] + FEAS_EPS {
+                        (v - self.ub[b], false)
+                    } else {
+                        continue;
+                    };
+                    if leave.is_none_or(|(_, w, _)| viol > w) {
+                        leave = Some((i, viol, below));
                     }
                 }
+                let Some((row, _, below)) = leave else {
+                    return Ok(()); // primal feasible
+                };
+                let b = self.basis[row];
+                let target = if below { self.lb[b] } else { self.ub[b] };
+
+                // Entering column by the dual ratio test. Eligibility:
+                // the column must be able to move the leaving basic
+                // toward its bound given which side it sits on.
+                let mut enter: Option<(usize, f64)> = None;
+                for (j, &dj) in d.iter().enumerate().take(col_limit) {
+                    if self.basis_pos[j] != usize::MAX || self.ub[j] - self.lb[j] <= EPS {
+                        continue;
+                    }
+                    let alpha = self.a[row][j];
+                    if alpha.abs() <= EPS {
+                        continue;
+                    }
+                    let eligible = if below {
+                        // Basic must increase: at-lower needs α<0,
+                        // at-upper needs α>0.
+                        (!self.at_upper[j] && alpha < -EPS) || (self.at_upper[j] && alpha > EPS)
+                    } else {
+                        (!self.at_upper[j] && alpha > EPS) || (self.at_upper[j] && alpha < -EPS)
+                    };
+                    if !eligible {
+                        continue;
+                    }
+                    let ratio = (dj / alpha).abs();
+                    if enter.is_none_or(|(_, r)| ratio < r - EPS) {
+                        enter = Some((j, ratio));
+                    }
+                }
+                let Some((col, _)) = enter else {
+                    return Err(SolveError::Infeasible);
+                };
+                self.pivot_to(row, col, target, !below, d);
+                pivots += 1;
             }
+            Err(SolveError::IterationLimit)
+        })();
+        vb_telemetry::counter!("solver.pivots").add(pivots);
+        if pivots > 0 {
+            vb_telemetry::counter!("solver.dual_pivots").add(pivots);
         }
-        best.map(|(i, _)| i)
+        result
     }
 
-    /// Gauss–Jordan pivot on `(row, col)`, updating the cost row too.
-    fn pivot(&mut self, row: usize, col: usize, cost: &mut [f64]) {
-        let piv = self.a[row][col];
-        debug_assert!(piv.abs() > EPS);
-        let inv = 1.0 / piv;
-        for v in self.a[row].iter_mut() {
+    /// Pivot `col` into the basis at `row`, sending the leaving variable
+    /// to `target` (its lower bound when `leave_at_upper` is false). The
+    /// rhs column is updated from the entering variable's travel, then
+    /// the coefficient columns are eliminated Gauss–Jordan style and the
+    /// reduced-cost row follows.
+    fn pivot_to(
+        &mut self,
+        row: usize,
+        col: usize,
+        target: f64,
+        leave_at_upper: bool,
+        d: &mut [f64],
+    ) {
+        let alpha = self.a[row][col];
+        debug_assert!(alpha.abs() > EPS);
+        let delta = (self.a[row][self.cols] - target) / alpha;
+        let entering_value = self.nonbasic_value(col) + delta;
+
+        // New basic values.
+        for i in 0..self.m {
+            if i != row {
+                let shift = self.a[i][col] * delta;
+                self.a[i][self.cols] -= shift;
+            }
+        }
+
+        // Basis bookkeeping.
+        let leave = self.basis[row];
+        self.at_upper[leave] = leave_at_upper;
+        self.basis_pos[leave] = usize::MAX;
+        self.basis[row] = col;
+        self.basis_pos[col] = row;
+
+        // Eliminate the entering column (coefficients only; the rhs is
+        // maintained explicitly above).
+        let inv = 1.0 / alpha;
+        for v in self.a[row].iter_mut().take(self.cols) {
             *v *= inv;
         }
-        // Split borrows: copy the pivot row to update the others.
-        let pivot_row = self.a[row].clone();
+        let pivot_row = self.a[row][..self.cols].to_vec();
         for i in 0..self.m {
             if i != row {
                 let factor = self.a[i][col];
@@ -315,27 +640,52 @@ impl Tableau {
                 }
             }
         }
-        let factor = cost[col];
+        let factor = d[col];
         if factor.abs() > EPS {
-            for (v, p) in cost.iter_mut().zip(&pivot_row) {
+            for (v, p) in d.iter_mut().zip(&pivot_row) {
                 *v -= factor * p;
             }
         }
-        self.basis[row] = col;
+        self.a[row][self.cols] = entering_value;
     }
 
-    /// After phase 1, pivot any basic artificial (at value 0) out of the
-    /// basis if some non-artificial column has a nonzero entry in its
-    /// row; otherwise the row is redundant and the artificial stays at 0.
-    fn expel_artificials(&mut self) {
+    /// After phase 1: pivot basic artificials (at value 0) out where a
+    /// real column has a nonzero entry (redundant rows keep theirs), then
+    /// freeze every artificial at `[0, 0]` so phase 2 and later warm
+    /// starts can never move one again.
+    fn expel_and_freeze_artificials(&mut self, d: &mut [f64]) {
         for i in 0..self.m {
             if self.basis[i] >= self.art_start {
-                if let Some(col) = (0..self.art_start).find(|&j| self.a[i][j].abs() > 1e-7) {
-                    let mut dummy = vec![0.0; self.cols + 1];
-                    self.pivot(i, col, &mut dummy);
+                if let Some(col) = (0..self.art_start)
+                    .find(|&j| self.basis_pos[j] == usize::MAX && self.a[i][j].abs() > 1e-7)
+                {
+                    self.pivot_to(i, col, 0.0, false, d);
                 }
             }
         }
+        for j in self.art_start..self.cols {
+            self.lb[j] = 0.0;
+            self.ub[j] = 0.0;
+        }
+    }
+
+    /// Read the structural solution and objective off the tableau.
+    fn extract(&self, model: &Model) -> Solution {
+        let mut x = vec![0.0; self.n];
+        for (j, xj) in x.iter_mut().enumerate() {
+            *xj = if self.basis_pos[j] != usize::MAX {
+                self.a[self.basis_pos[j]][self.cols]
+            } else {
+                self.nonbasic_value(j)
+            };
+        }
+        let objective: f64 = model
+            .objective
+            .iter()
+            .map(|&(v, coef)| coef * x[v.0])
+            .sum::<f64>()
+            + model.objective_const;
+        Solution::new(objective, x)
     }
 }
 
@@ -368,8 +718,7 @@ mod tests {
 
     #[test]
     fn minimization_with_ge_constraints_uses_phase1() {
-        // min 2x + 3y s.t. x + y >= 10, x >= 2 -> x=10-... optimal x=10,y=0? costs: x cheaper
-        // x+y>=10 with min 2x+3y -> put all in x: x=10, y=0, obj 20.
+        // min 2x + 3y s.t. x + y >= 10 -> all on the cheaper x, obj 20.
         let mut m = Model::new(Sense::Minimize);
         let x = m.var("x", 0.0, f64::INFINITY);
         let y = m.var("y", 0.0, f64::INFINITY);
@@ -421,8 +770,9 @@ mod tests {
     }
 
     #[test]
-    fn respects_variable_bounds() {
-        // max x + y with x in [1, 3], y in [0, 2].
+    fn respects_variable_bounds_without_constraint_rows() {
+        // max x + y with x in [1, 3], y in [0, 2]: no constraints at all,
+        // so the tableau has zero rows and the solve is pure bound flips.
         let mut m = Model::new(Sense::Maximize);
         let x = m.var("x", 1.0, 3.0);
         let y = m.var("y", 0.0, 2.0);
@@ -430,6 +780,8 @@ mod tests {
         m.set_objective(obj);
         let s = m.solve().unwrap();
         assert!((s.objective - 5.0).abs() < 1e-6);
+        assert!((s.value(x) - 3.0).abs() < 1e-6);
+        assert!((s.value(y) - 2.0).abs() < 1e-6);
     }
 
     #[test]
@@ -505,5 +857,122 @@ mod tests {
         m.set_objective(obj);
         let s = m.solve().unwrap();
         assert!((s.objective + 0.05).abs() < 1e-6, "obj {}", s.objective);
+    }
+
+    #[test]
+    fn binaries_add_no_tableau_rows() {
+        // 40 bounded variables, 1 constraint: the bounded-variable
+        // tableau must have exactly one row (the old path had 41).
+        let mut m = Model::new(Sense::Maximize);
+        let xs: Vec<VarId> = (0..40).map(|i| m.var(&format!("x{i}"), 0.0, 1.0)).collect();
+        let terms: Vec<(VarId, f64)> = xs.iter().map(|&v| (v, 1.0)).collect();
+        let e = m.expr(&terms);
+        m.add_le(e, 3.5);
+        let obj = m.expr(&terms);
+        m.set_objective(obj);
+        let (sol, st) = solve_lp_state(&m, &[], None).unwrap();
+        assert_eq!(st.m, 1, "bounds must not materialise as rows");
+        assert!((sol.objective - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_reoptimizes_after_bound_change() {
+        // max x + y s.t. x + y <= 3, x,y in [0, 2]: optimum 3. Then
+        // branch-style: force x <= 1 -> optimum 3 still (y=2, x=1);
+        // force x >= 2 -> x=2, y=1.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.var("x", 0.0, 2.0);
+        let y = m.var("y", 0.0, 2.0);
+        let e = m.expr(&[(x, 1.0), (y, 1.0)]);
+        m.add_le(e, 3.0);
+        let obj = m.expr(&[(x, 1.0), (y, 1.0)]);
+        m.set_objective(obj);
+        let (root, st) = solve_lp_state(&m, &[], None).unwrap();
+        assert!((root.objective - 3.0).abs() < 1e-6);
+
+        let (a, _) = solve_lp_state(&m, &[(x, 0.0, 1.0)], Some(&st)).unwrap();
+        assert!((a.objective - 3.0).abs() < 1e-6, "obj {}", a.objective);
+        assert!(a.value(x) <= 1.0 + 1e-6);
+
+        let (b, _) = solve_lp_state(&m, &[(x, 2.0, 2.0)], Some(&st)).unwrap();
+        assert!((b.objective - 3.0).abs() < 1e-6);
+        assert!((b.value(x) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_detects_infeasible_children() {
+        // x + y >= 4 with x,y in [0,2]: feasible only at x=y=2. Fixing
+        // x to 0 from the parent optimum must come back Infeasible.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.var("x", 0.0, 2.0);
+        let y = m.var("y", 0.0, 2.0);
+        let e = m.expr(&[(x, 1.0), (y, 1.0)]);
+        m.add_ge(e, 4.0);
+        let obj = m.expr(&[(x, 1.0), (y, 2.0)]);
+        m.set_objective(obj);
+        let (root, st) = solve_lp_state(&m, &[], None).unwrap();
+        assert!((root.objective - 6.0).abs() < 1e-6);
+        assert_eq!(
+            solve_lp_state(&m, &[(x, 0.0, 0.0)], Some(&st)).unwrap_err(),
+            SolveError::Infeasible
+        );
+    }
+
+    #[test]
+    fn warm_start_chain_matches_cold_solves() {
+        // A chain of progressively tighter bounds, warm vs cold.
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<VarId> = (0..6).map(|i| m.var(&format!("v{i}"), 0.0, 4.0)).collect();
+        for k in 0..3 {
+            let terms: Vec<(VarId, f64)> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 1.0 + ((i + k) % 3) as f64))
+                .collect();
+            let e = m.expr(&terms);
+            m.add_le(e, 10.0 + k as f64);
+        }
+        let terms: Vec<(VarId, f64)> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, 1.0 + (i % 4) as f64))
+            .collect();
+        let e = m.expr(&terms);
+        m.set_objective(e);
+
+        let mut overrides: Vec<(VarId, f64, f64)> = Vec::new();
+        let (_, mut state) = solve_lp_state(&m, &[], None).unwrap();
+        for (step, &v) in vars.iter().enumerate() {
+            overrides.push((v, 0.0, 3.0 - (step % 3) as f64));
+            let warm = solve_lp_state(&m, &overrides, Some(&state)).unwrap();
+            let cold = solve_lp_state(&m, &overrides, None).unwrap();
+            assert!(
+                (warm.0.objective - cold.0.objective).abs() < 1e-6,
+                "step {step}: warm {} vs cold {}",
+                warm.0.objective,
+                cold.0.objective
+            );
+            state = warm.1;
+        }
+    }
+
+    #[test]
+    fn degenerate_bound_heavy_instance() {
+        // Many variables share one tight equality; lots of degenerate
+        // pivots, exercising the tie-breaks.
+        let mut m = Model::new(Sense::Minimize);
+        let xs: Vec<VarId> = (0..12).map(|i| m.var(&format!("x{i}"), 0.0, 1.0)).collect();
+        let terms: Vec<(VarId, f64)> = xs.iter().map(|&v| (v, 1.0)).collect();
+        let e = m.expr(&terms);
+        m.add_eq(e, 0.0); // forces everything to 0
+        let obj_terms: Vec<(VarId, f64)> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, 1.0 - (i as f64) * 0.1))
+            .collect();
+        let e = m.expr(&obj_terms);
+        m.set_objective(e);
+        let s = m.solve().unwrap();
+        assert!(s.objective.abs() < 1e-6);
     }
 }

@@ -5,7 +5,17 @@ use crate::metrics::{Counter, FloatCounter, Gauge, Histogram, DEFAULT_BOUNDS};
 use crate::report::{Event, Json};
 use crate::snapshot::{Snapshot, SpanStat};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Lock a registry mutex, recovering from poisoning. Telemetry must stay
+/// usable during unwinding: if a panic elsewhere poisoned a lock, a later
+/// `.unwrap()` here would turn the first panic into a double panic and
+/// abort the process. The guarded data (metric maps, event vectors) has
+/// no invariants a half-completed update can break, so taking the inner
+/// guard is always safe.
+fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Registry of named metrics. Lookups take a lock; updates through the
 /// returned handles are lock-free, so the lock is only contended when a
@@ -23,13 +33,13 @@ pub struct Registry {
 impl Registry {
     /// Get or create the named counter.
     pub fn counter(&self, name: &'static str) -> Arc<Counter> {
-        let mut map = self.counters.lock().unwrap();
+        let mut map = lock_or_recover(&self.counters);
         Arc::clone(map.entry(name).or_insert_with(|| Arc::new(Counter::new())))
     }
 
     /// Get or create the named float counter.
     pub fn float_counter(&self, name: &'static str) -> Arc<FloatCounter> {
-        let mut map = self.float_counters.lock().unwrap();
+        let mut map = lock_or_recover(&self.float_counters);
         Arc::clone(
             map.entry(name)
                 .or_insert_with(|| Arc::new(FloatCounter::new())),
@@ -38,14 +48,14 @@ impl Registry {
 
     /// Get or create the named gauge.
     pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
-        let mut map = self.gauges.lock().unwrap();
+        let mut map = lock_or_recover(&self.gauges);
         Arc::clone(map.entry(name).or_insert_with(|| Arc::new(Gauge::new())))
     }
 
     /// Get or create the named histogram. `bounds` applies only on first
     /// creation; later callers share the existing buckets.
     pub fn histogram(&self, name: &'static str, bounds: Option<&[f64]>) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().unwrap();
+        let mut map = lock_or_recover(&self.histograms);
         Arc::clone(
             map.entry(name).or_insert_with(|| {
                 Arc::new(Histogram::with_bounds(bounds.unwrap_or(&DEFAULT_BOUNDS)))
@@ -56,7 +66,7 @@ impl Registry {
     /// Merge a thread's span aggregates (called when a thread's
     /// outermost span closes).
     pub(crate) fn merge_spans(&self, local: &HashMap<&'static str, SpanStat>) {
-        let mut map = self.spans.lock().unwrap();
+        let mut map = lock_or_recover(&self.spans);
         for (name, stat) in local {
             map.entry(name).or_default().merge(stat);
         }
@@ -64,7 +74,7 @@ impl Registry {
 
     /// Append a structured event to the run's stream.
     pub fn event(&self, kind: &str, fields: &[(&str, Json)]) {
-        let mut events = self.events.lock().unwrap();
+        let mut events = lock_or_recover(&self.events);
         let seq = events.len() as u64;
         events.push(Event {
             seq,
@@ -78,44 +88,29 @@ impl Registry {
 
     /// Copy of the event stream so far.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().unwrap().clone()
+        lock_or_recover(&self.events).clone()
     }
 
     /// Freeze every metric into plain data, sorted by name.
     pub fn snapshot(&self) -> Snapshot {
         let mut snap = Snapshot {
-            counters: self
-                .counters
-                .lock()
-                .unwrap()
+            counters: lock_or_recover(&self.counters)
                 .iter()
                 .map(|(&n, c)| (n.to_string(), c.get()))
                 .collect(),
-            float_counters: self
-                .float_counters
-                .lock()
-                .unwrap()
+            float_counters: lock_or_recover(&self.float_counters)
                 .iter()
                 .map(|(&n, c)| (n.to_string(), c.get()))
                 .collect(),
-            gauges: self
-                .gauges
-                .lock()
-                .unwrap()
+            gauges: lock_or_recover(&self.gauges)
                 .iter()
                 .map(|(&n, g)| (n.to_string(), g.get()))
                 .collect(),
-            histograms: self
-                .histograms
-                .lock()
-                .unwrap()
+            histograms: lock_or_recover(&self.histograms)
                 .iter()
                 .map(|(&n, h)| (n.to_string(), h.snapshot()))
                 .collect(),
-            spans: self
-                .spans
-                .lock()
-                .unwrap()
+            spans: lock_or_recover(&self.spans)
                 .iter()
                 .map(|(&n, &s)| (n.to_string(), s))
                 .collect(),
@@ -132,20 +127,20 @@ impl Registry {
     /// Registrations survive, so handles cached at call sites stay
     /// valid — this is how benches separate back-to-back runs.
     pub fn reset(&self) {
-        for c in self.counters.lock().unwrap().values() {
+        for c in lock_or_recover(&self.counters).values() {
             c.reset();
         }
-        for c in self.float_counters.lock().unwrap().values() {
+        for c in lock_or_recover(&self.float_counters).values() {
             c.reset();
         }
-        for g in self.gauges.lock().unwrap().values() {
+        for g in lock_or_recover(&self.gauges).values() {
             g.reset();
         }
-        for h in self.histograms.lock().unwrap().values() {
+        for h in lock_or_recover(&self.histograms).values() {
             h.reset();
         }
-        self.spans.lock().unwrap().clear();
-        self.events.lock().unwrap().clear();
+        lock_or_recover(&self.spans).clear();
+        lock_or_recover(&self.events).clear();
     }
 }
 
@@ -173,4 +168,29 @@ pub fn events() -> Vec<Event> {
 /// Reset the global registry (between runs — see [`Registry::reset`]).
 pub fn reset() {
     global().reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisoned_locks_recover_instead_of_double_panicking() {
+        let reg = Registry::default();
+        reg.counter("poison.test").inc();
+        // Poison the counters mutex by panicking while holding the lock.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = reg.counters.lock().unwrap();
+            panic!("deliberate poison");
+        }));
+        assert!(reg.counters.is_poisoned());
+        // Every telemetry path must keep working afterwards.
+        reg.counter("poison.test").inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("poison.test"), Some(2));
+        reg.event("after.poison", &[]);
+        assert_eq!(reg.events().len(), 1);
+        reg.reset();
+        assert_eq!(reg.snapshot().counter("poison.test"), Some(0));
+    }
 }

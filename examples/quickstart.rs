@@ -50,8 +50,12 @@ fn main() {
     let cfg = GroupSimConfig::default();
     let names = ["NO-solar", "UK-wind", "PT-wind"];
     println!("\nscheduling one week of applications across the group…");
-    let greedy = GroupSim::new(&catalog, &names, cfg.clone()).run(&mut GreedyPolicy::new());
-    let mip = GroupSim::new(&catalog, &names, cfg).run(&mut MipPolicy::new(MipConfig::mip()));
+    let greedy = GroupSim::new(&catalog, &names, cfg.clone())
+        .expect("quickstart sites must exist in the catalog")
+        .run(&mut GreedyPolicy::new());
+    let mip = GroupSim::new(&catalog, &names, cfg)
+        .expect("quickstart sites must exist in the catalog")
+        .run(&mut MipPolicy::new(MipConfig::mip()));
     for s in [&greedy, &mip] {
         println!(
             "  {:<8}: {:>7.0} GB migrated, peak {:>6.0} GB/15min, {:.0}% quiet intervals",

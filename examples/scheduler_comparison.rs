@@ -48,7 +48,9 @@ fn main() {
         .filter(|d| !d.is_empty());
     for p in policies.iter_mut() {
         vb_telemetry::reset();
-        let s = GroupSim::new(&catalog, &names, cfg.clone()).run(p.as_mut());
+        let s = GroupSim::new(&catalog, &names, cfg.clone())
+            .expect("comparison sites must exist in the catalog")
+            .run(p.as_mut());
         if let Some(dir) = &report_dir {
             let report = vb_telemetry::RunReport::capture(&s.policy);
             let path = format!("{dir}/{}.jsonl", s.policy);

@@ -29,7 +29,9 @@ fn cfg() -> GroupSimConfig {
 /// Run one policy inside a fresh telemetry scope and capture its report.
 fn run_policy(catalog: &Catalog, policy: &mut dyn virtual_battery::vb_sched::Policy) -> RunReport {
     vb_telemetry::reset();
-    let summary = GroupSim::new(catalog, &SITES, cfg()).run(policy);
+    let summary = GroupSim::new(catalog, &SITES, cfg())
+        .expect("demo sites must exist in the catalog")
+        .run(policy);
     println!(
         "{:<10} total {:>8.0} GB   peak {:>7.0} GB   preemptive moves {:>3}",
         summary.policy, summary.total_gb, summary.peak_gb, summary.preemptive_moves
@@ -81,7 +83,8 @@ fn main() {
         "sched.moves_executed",
         "sched.drain_moves",
         "solver.lp_solves",
-        "solver.simplex_pivots",
+        "solver.pivots",
+        "solver.warm_start_hits",
         "solver.mip_nodes_expanded",
         "solver.mip_nodes_pruned",
     ] {

@@ -52,7 +52,7 @@ fn scheduling_and_energy_views_agree_on_the_same_world() {
         days: 2,
         ..GroupSimConfig::default()
     };
-    let sim = GroupSim::new(&catalog, &["UK-wind"], cfg);
+    let sim = GroupSim::new(&catalog, &["UK-wind"], cfg).unwrap();
     assert_eq!(sim.n_steps(), vb.normalized().len() as u64);
 }
 
@@ -66,13 +66,19 @@ fn policies_share_identical_worlds_and_differ_only_in_decisions() {
     };
 
     // Same policy twice: identical output (the world is deterministic).
-    let a = GroupSim::new(&catalog, &names, cfg.clone()).run(&mut GreedyPolicy::new());
-    let b = GroupSim::new(&catalog, &names, cfg.clone()).run(&mut GreedyPolicy::new());
+    let a = GroupSim::new(&catalog, &names, cfg.clone())
+        .unwrap()
+        .run(&mut GreedyPolicy::new());
+    let b = GroupSim::new(&catalog, &names, cfg.clone())
+        .unwrap()
+        .run(&mut GreedyPolicy::new());
     assert_eq!(a.per_step_gb, b.per_step_gb);
 
     // A different policy produces a different trajectory over the same
     // arrivals (if it never differed, the comparison would be vacuous).
-    let m = GroupSim::new(&catalog, &names, cfg).run(&mut MipPolicy::new(MipConfig::mip_24h()));
+    let m = GroupSim::new(&catalog, &names, cfg)
+        .unwrap()
+        .run(&mut MipPolicy::new(MipConfig::mip_24h()));
     assert_eq!(m.per_step_gb.len(), a.per_step_gb.len());
     assert_ne!(m.per_step_gb, a.per_step_gb);
 }
@@ -156,7 +162,9 @@ fn mip_policy_solves_exactly_throughout_a_run() {
         ..GroupSimConfig::default()
     };
     let mut policy = MipPolicy::new(MipConfig::mip());
-    let _ = GroupSim::new(&catalog, &["UK-wind", "PT-wind", "NO-solar"], cfg).run(&mut policy);
+    let _ = GroupSim::new(&catalog, &["UK-wind", "PT-wind", "NO-solar"], cfg)
+        .unwrap()
+        .run(&mut policy);
     assert_eq!(policy.fallbacks_used(), 0, "no greedy fallbacks expected");
 }
 

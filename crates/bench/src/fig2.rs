@@ -31,10 +31,23 @@ pub struct Fig2Report {
 pub fn run(seed: u64) -> Fig2Report {
     let catalog = Catalog::europe(seed);
     // Day-of-year 122 ≈ May 3, matching Fig 2a's "Day 03..07 (May 2020)".
-    let solar_sample = catalog.trace("BE-solar", 122, 4);
-    let wind_sample = catalog.trace("BE-wind", 122, 4);
-    let solar_year = catalog.trace("BE-solar", 0, 365);
-    let wind_year = catalog.trace("BE-wind", 0, 365);
+    // The four traces (two sites × sample/year) are independent; the
+    // year-long ones dominate, so generate all four in parallel.
+    let specs: [(&str, u32, u32); 4] = [
+        ("BE-solar", 122, 4),
+        ("BE-wind", 122, 4),
+        ("BE-solar", 0, 365),
+        ("BE-wind", 0, 365),
+    ];
+    let mut traces = vb_par::par_map(specs.len(), |i| {
+        let (name, start, days) = specs[i];
+        catalog.trace(name, start, days)
+    })
+    .into_iter();
+    let solar_sample = traces.next().expect("four traces");
+    let wind_sample = traces.next().expect("four traces");
+    let solar_year = traces.next().expect("four traces");
+    let wind_year = traces.next().expect("four traces");
 
     let zero_frac =
         |t: &TimeSeries| t.values.iter().filter(|&&v| v == 0.0).count() as f64 / t.len() as f64;

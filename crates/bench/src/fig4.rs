@@ -56,9 +56,12 @@ pub fn run(seed: u64) -> Fig4Report {
     let week_power = catalog.trace("BE-wind", 122, 7);
     let week = simulate_paper_site(&week_power, seed);
 
-    let sources = [("wind", "BE-wind"), ("solar", "BE-solar")]
-        .into_iter()
-        .map(|(label, site)| {
+    // The three-month per-source simulations are independent; run them
+    // in parallel (the Fig 4a week run above is cheap by comparison).
+    const SOURCES: [(&str, &str); 2] = [("wind", "BE-wind"), ("solar", "BE-solar")];
+    let sources = vb_par::par_map(SOURCES.len(), |i| {
+        {
+            let (label, site) = SOURCES[i];
             let power = catalog.trace(site, 60, 90); // 3 months from March
             let out = simulate_paper_site(&power, seed);
             let outs = out.out_gb();
@@ -76,8 +79,8 @@ pub fn run(seed: u64) -> Fig4Report {
                 peak_out_gb: outs.iter().copied().fold(0.0, f64::max),
                 busy_fraction: wan.busy_fraction(&all, 900.0),
             }
-        })
-        .collect();
+        }
+    });
 
     Fig4Report { week, sources, wan }
 }
@@ -170,5 +173,23 @@ mod tests {
     fn week_series_covers_seven_days() {
         let r = run(42);
         assert_eq!(r.week.steps.len(), 7 * 96);
+    }
+
+    #[test]
+    fn section5_headline_busy_fraction_band() {
+        // §5: "migration occurs only 2-4% of the time assuming 200 Gbps
+        // WAN link per VB site." The synthetic catalog lands in the same
+        // regime (a few percent at most, clearly non-zero); this pins
+        // the order of magnitude so WAN accounting changes — like the
+        // backlog carry-over — can't silently inflate or zero it.
+        let r = run(42);
+        for s in &r.sources {
+            assert!(
+                (0.001..0.05).contains(&s.busy_fraction),
+                "{}: busy fraction {} outside the §5 few-percent band",
+                s.source,
+                s.busy_fraction
+            );
+        }
     }
 }

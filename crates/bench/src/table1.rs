@@ -53,26 +53,34 @@ pub fn run_pipeline_group(seed: u64, k: usize) -> Table1Report {
 
 /// Run the four policies over one group.
 pub fn run_on_group(seed: u64, names: &[&str]) -> Table1Report {
-    let catalog = Catalog::europe(seed);
     let cfg = GroupSimConfig {
         seed,
         ..GroupSimConfig::default()
     };
+    run_on_group_with(seed, names, cfg)
+}
 
-    let mut policies: Vec<Box<dyn Policy>> = vec![
-        Box::new(GreedyPolicy::new()),
-        Box::new(MipPolicy::new(MipConfig::mip_24h())),
-        Box::new(MipPolicy::new(MipConfig::mip())),
-        Box::new(MipPolicy::new(MipConfig::mip_peak())),
-    ];
-    let rows = policies
-        .iter_mut()
-        .map(|p| {
-            GroupSim::new(&catalog, names, cfg.clone())
-                .expect("Table 1 sites must exist in the catalog")
-                .run(p.as_mut())
-        })
-        .collect();
+/// Run the four policies over one group with an explicit sim config
+/// (shorter `days` keeps determinism tests and CI fast).
+///
+/// Each policy run is independent — same catalog, same seeds, its own
+/// simulator — so the four rows execute in parallel via `vb_par`. The
+/// policy objects are constructed *inside* the task closure (a boxed
+/// `dyn Policy` is not `Sync`), and row order is fixed by task index,
+/// so the report is identical at any thread count.
+pub fn run_on_group_with(seed: u64, names: &[&str], cfg: GroupSimConfig) -> Table1Report {
+    let catalog = Catalog::europe(seed);
+    let rows = vb_par::par_map(4, |p| {
+        let mut policy: Box<dyn Policy> = match p {
+            0 => Box::new(GreedyPolicy::new()),
+            1 => Box::new(MipPolicy::new(MipConfig::mip_24h())),
+            2 => Box::new(MipPolicy::new(MipConfig::mip())),
+            _ => Box::new(MipPolicy::new(MipConfig::mip_peak())),
+        };
+        GroupSim::new(&catalog, names, cfg.clone())
+            .expect("Table 1 sites must exist in the catalog")
+            .run(policy.as_mut())
+    });
     Table1Report {
         group: names.iter().map(|s| s.to_string()).collect(),
         rows,

@@ -1,0 +1,62 @@
+//! Pinned determinism contract of the `vb_par` executor: every
+//! experiment artifact must be *identical* — not statistically close —
+//! at any thread count. `vb_par::with_threads` scopes are serialised
+//! process-wide, so these tests cannot interleave their overrides.
+
+use vb_bench::table1;
+use vb_sched::{identify_subgraphs, GroupSimConfig, PipelineConfig};
+use vb_trace::Catalog;
+
+/// Short Table 1 run (the full bench uses 7 days; 2 keeps CI fast).
+fn short_cfg() -> GroupSimConfig {
+    GroupSimConfig {
+        days: 2,
+        ..GroupSimConfig::default()
+    }
+}
+
+#[test]
+fn table1_rows_bit_match_sequential() {
+    let names = ["NO-solar", "UK-wind", "PT-wind"];
+    let sequential = vb_par::with_threads(1, || table1::run_on_group_with(7, &names, short_cfg()));
+    for threads in [2, 8] {
+        let parallel = vb_par::with_threads(threads, || {
+            table1::run_on_group_with(7, &names, short_cfg())
+        });
+        assert_eq!(parallel.group, sequential.group);
+        assert_eq!(
+            parallel.rows, sequential.rows,
+            "Table 1 rows diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn clique_ranking_bit_matches_sequential() {
+    let catalog = Catalog::europe(42);
+    let cfg = PipelineConfig::default();
+    let sequential = vb_par::with_threads(1, || identify_subgraphs(&catalog, &cfg));
+    for threads in [2, 8] {
+        let parallel = vb_par::with_threads(threads, || identify_subgraphs(&catalog, &cfg));
+        assert_eq!(
+            parallel, sequential,
+            "clique ranking diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn pair_sweep_bit_matches_sequential() {
+    let catalog = Catalog::europe(42);
+    let sequential =
+        vb_par::with_threads(1, || vb_core::combos::search_pairs(&catalog, 120, 3, 50.0));
+    for threads in [2, 8] {
+        let parallel = vb_par::with_threads(threads, || {
+            vb_core::combos::search_pairs(&catalog, 120, 3, 50.0)
+        });
+        assert_eq!(
+            parallel, sequential,
+            "pair sweep diverged at {threads} threads"
+        );
+    }
+}

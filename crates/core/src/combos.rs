@@ -5,15 +5,18 @@
 //! even when combining just two sites, > 52 % of possible 2-site
 //! combinations improved cov by > 50 %."
 //!
-//! The sweep over all pairs is embarrassingly parallel; it is fanned out
-//! across CPU cores with `std::thread::scope`.
+//! The sweep over all pairs is embarrassingly parallel; trace
+//! generation and the per-pair cov computations are fanned out across
+//! CPU cores with `vb_par` (deterministic ordered map, so the results
+//! are identical at any thread count — see the determinism tests in
+//! `vb-bench`).
 
 use serde::{Deserialize, Serialize};
 use vb_stats::{coefficient_of_variation, TimeSeries};
 use vb_trace::Catalog;
 
 /// cov improvement of one site pair.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PairImprovement {
     /// First site name.
     pub a: String,
@@ -36,7 +39,7 @@ pub struct PairImprovement {
 }
 
 /// Aggregate statistics of a pair sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ComboStats {
     /// Pairs examined (within the latency threshold).
     pub pairs: usize,
@@ -64,7 +67,7 @@ pub fn search_pairs(
     let n = sites.len();
 
     // Generate all traces in parallel (the expensive part).
-    let traces: Vec<TimeSeries> = parallel_map(n, |i| {
+    let traces: Vec<TimeSeries> = vb_par::par_map(n, |i| {
         vb_trace::generate_in(&sites[i], start_day, days, catalog.field())
             .scale(sites[i].capacity_mw)
     });
@@ -73,32 +76,38 @@ pub fn search_pairs(
         .map(|t| coefficient_of_variation(&t.values))
         .collect();
 
-    let mut pairs = Vec::new();
+    // Enumerate the in-range pairs cheaply, then score them in parallel
+    // (combined series + cov per pair); chunked claims amortise the
+    // work-sharing cursor over the ~C(n,2) small tasks.
+    let mut in_range = Vec::new();
     for i in 0..n {
         for j in (i + 1)..n {
             let rtt = sites[i].rtt_ms(&sites[j]);
-            if rtt >= latency_threshold_ms {
-                continue;
+            if rtt < latency_threshold_ms {
+                in_range.push((i, j, rtt));
             }
-            let combined = traces[i].add(&traces[j]);
-            let combined_cov = coefficient_of_variation(&combined.values);
-            let best_single = covs[i].min(covs[j]);
-            let worst_single = covs[i].max(covs[j]);
-            pairs.push(PairImprovement {
-                a: sites[i].name.clone(),
-                b: sites[j].name.clone(),
-                best_single_cov: best_single,
-                worst_single_cov: worst_single,
-                combined_cov,
-                improvement: if combined_cov > 0.0 {
-                    worst_single / combined_cov
-                } else {
-                    f64::INFINITY
-                },
-                rtt_ms: rtt,
-            });
         }
     }
+    let pairs = vb_par::par_map_chunked(in_range.len(), 16, |p| {
+        let (i, j, rtt) = in_range[p];
+        let combined = traces[i].add(&traces[j]);
+        let combined_cov = coefficient_of_variation(&combined.values);
+        let best_single = covs[i].min(covs[j]);
+        let worst_single = covs[i].max(covs[j]);
+        PairImprovement {
+            a: sites[i].name.clone(),
+            b: sites[j].name.clone(),
+            best_single_cov: best_single,
+            worst_single_cov: worst_single,
+            combined_cov,
+            improvement: if combined_cov > 0.0 {
+                worst_single / combined_cov
+            } else {
+                f64::INFINITY
+            },
+            rtt_ms: rtt,
+        }
+    });
 
     let stats = summarize(&pairs);
     (pairs, stats)
@@ -131,30 +140,6 @@ fn summarize(pairs: &[PairImprovement]) -> ComboStats {
         median_improvement: vb_stats::percentile(&improvements, 50.0),
         best,
     }
-}
-
-/// Map `f` over `0..n` using one scoped thread per chunk.
-fn parallel_map<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
-    let chunk = n.div_ceil(threads).max(1);
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (t, slot_chunk) in out.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move || {
-                for (k, slot) in slot_chunk.iter_mut().enumerate() {
-                    *slot = Some(f(t * chunk + k));
-                }
-            });
-        }
-    });
-    out.into_iter().map(|s| s.expect("filled")).collect()
 }
 
 #[cfg(test)]
@@ -213,9 +198,11 @@ mod tests {
     }
 
     #[test]
-    fn parallel_map_preserves_order() {
-        let out = parallel_map(17, |i| i * i);
-        assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
-        assert!(parallel_map(0, |i| i).is_empty());
+    fn sweep_is_identical_across_thread_counts() {
+        let catalog = Catalog::europe(42);
+        let (base, base_stats) = vb_par::with_threads(1, || search_pairs(&catalog, 120, 3, 50.0));
+        let (par, par_stats) = vb_par::with_threads(4, || search_pairs(&catalog, 120, 3, 50.0));
+        assert_eq!(base, par);
+        assert_eq!(base_stats, par_stats);
     }
 }

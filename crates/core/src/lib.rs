@@ -35,8 +35,9 @@
 //! The substrates live in their own crates and are re-exported here:
 //! traces ([`vb_trace`]), statistics ([`vb_stats`]), the LP/MIP solver
 //! ([`vb_solver`]), the cluster simulator ([`vb_cluster`]), the network
-//! layer ([`vb_net`]), the co-scheduler ([`vb_sched`]) and the
-//! observability layer ([`vb_telemetry`]).
+//! layer ([`vb_net`]), the co-scheduler ([`vb_sched`]), the
+//! observability layer ([`vb_telemetry`]) and the deterministic
+//! parallel executor ([`vb_par`]).
 
 pub mod battery;
 pub mod combos;
@@ -56,6 +57,7 @@ pub use storage::{required_capacity_for_stable_fraction, Battery};
 
 pub use vb_cluster;
 pub use vb_net;
+pub use vb_par;
 pub use vb_sched;
 pub use vb_solver;
 pub use vb_stats;

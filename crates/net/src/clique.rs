@@ -123,18 +123,21 @@ pub fn rank_cliques_by_cov(
     traces: &[TimeSeries],
 ) -> Vec<CliqueScore> {
     assert_eq!(graph.len(), traces.len(), "one trace per node");
-    let mut scored: Vec<CliqueScore> = cliques
-        .iter()
-        .map(|nodes| {
-            let refs: Vec<&TimeSeries> = nodes.iter().map(|&i| &traces[i]).collect();
-            let combined = TimeSeries::sum_of(&refs);
-            CliqueScore {
-                nodes: nodes.clone(),
-                cov: coefficient_of_variation(&combined.values),
-                diameter_ms: graph.diameter_ms(nodes),
-            }
-        })
-        .collect();
+    // Per-clique scoring (combined series + cov) fans out over cores;
+    // chunked claims keep cursor traffic negligible for the thousands of
+    // small cliques a k = 4..5 sweep enumerates. The final sort is a
+    // stable total order on the deterministic per-index scores, so the
+    // ranking is identical at any thread count.
+    let mut scored: Vec<CliqueScore> = vb_par::par_map_chunked(cliques.len(), 8, |c| {
+        let nodes = &cliques[c];
+        let refs: Vec<&TimeSeries> = nodes.iter().map(|&i| &traces[i]).collect();
+        let combined = TimeSeries::sum_of(&refs);
+        CliqueScore {
+            nodes: nodes.clone(),
+            cov: coefficient_of_variation(&combined.values),
+            diameter_ms: graph.diameter_ms(nodes),
+        }
+    });
     scored.sort_by(|a, b| {
         a.cov
             .partial_cmp(&b.cov)

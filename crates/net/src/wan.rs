@@ -69,26 +69,57 @@ impl WanModel {
         }
     }
 
+    /// Per-interval busy seconds with backlog carry-over, plus the
+    /// backlog (in seconds of drain) still queued after the last
+    /// interval.
+    ///
+    /// A burst whose drain time exceeds `interval_secs` keeps the link
+    /// busy into the *following* intervals rather than silently
+    /// vanishing at the interval boundary: each interval's unfinished
+    /// drain work carries forward as backlog. Conservation holds:
+    /// Σ busy + leftover == Σ drain_secs (up to float rounding).
+    pub fn busy_profile(&self, gb_per_interval: &[f64], interval_secs: f64) -> (Vec<f64>, f64) {
+        let mut busy = Vec::with_capacity(gb_per_interval.len());
+        let mut backlog = 0.0_f64;
+        for &gb in gb_per_interval {
+            backlog += self.drain_secs(gb);
+            let drained = backlog.min(interval_secs);
+            busy.push(drained);
+            backlog -= drained;
+        }
+        (busy, backlog)
+    }
+
     /// Fraction of wall-clock time the site link is busy migrating,
     /// given per-interval migration volumes (GB per `interval_secs`).
     /// This is the §5 "2-4 % of the time" statistic.
+    ///
+    /// Bursts too large to drain within their own interval stay busy in
+    /// subsequent intervals (see [`busy_profile`](Self::busy_profile));
+    /// only backlog outstanding *after the last interval* is excluded,
+    /// since the observation window ends there. Returns 0.0 for an empty
+    /// series or a non-positive (or NaN) `interval_secs`.
     pub fn busy_fraction(&self, gb_per_interval: &[f64], interval_secs: f64) -> f64 {
-        if gb_per_interval.is_empty() {
+        if gb_per_interval.is_empty() || interval_secs.is_nan() || interval_secs <= 0.0 {
             return 0.0;
         }
-        let busy: f64 = gb_per_interval
-            .iter()
-            .map(|&gb| self.drain_secs(gb).min(interval_secs))
-            .sum();
-        let fraction = busy / (gb_per_interval.len() as f64 * interval_secs);
+        let (busy, _leftover) = self.busy_profile(gb_per_interval, interval_secs);
+        let total_busy: f64 = busy.iter().sum();
+        // Each interval's busy time is ≤ interval_secs, but summation
+        // rounding can push the ratio a couple of ulps past 1.0.
+        let fraction = (total_busy / (gb_per_interval.len() as f64 * interval_secs)).min(1.0);
         vb_telemetry::gauge!("net.wan_busy_fraction").set(fraction);
         fraction
     }
 
     /// Peak link utilization over a series of per-interval volumes: the
     /// largest fraction of the interval the link would need to run at
-    /// full rate (can exceed 1.0 when the link is overwhelmed).
+    /// full rate (can exceed 1.0 when the link is overwhelmed). Returns
+    /// 0.0 for a non-positive (or NaN) `interval_secs`.
     pub fn peak_utilization(&self, gb_per_interval: &[f64], interval_secs: f64) -> f64 {
+        if interval_secs.is_nan() || interval_secs <= 0.0 {
+            return 0.0;
+        }
         let peak = gb_per_interval
             .iter()
             .map(|&gb| self.drain_secs(gb) / interval_secs)
@@ -136,9 +167,46 @@ mod tests {
     #[test]
     fn busy_fraction_saturates_per_interval() {
         let wan = WanModel::default();
-        // A burst too big to drain within its interval caps at 1 interval.
+        // A burst too big to drain within the whole series keeps the
+        // link busy 100% of the observed window.
         let huge = 1e9;
         assert!((wan.busy_fraction(&[huge], 900.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_fraction_carries_backlog_into_later_intervals() {
+        let wan = WanModel::default();
+        // 45 000 GB = 1 800 s of drain at 200 Gbps. In 900 s intervals
+        // that is two full intervals of work: the old per-interval clamp
+        // reported 900/3600 = 0.25; with carry the link is busy for
+        // 1 800/3 600 = 0.5 of the window.
+        let frac = wan.busy_fraction(&[45_000.0, 0.0, 0.0, 0.0], 900.0);
+        assert!((frac - 0.5).abs() < 1e-9, "got {frac}");
+        // Overlapping bursts stack rather than vanish at boundaries.
+        let frac = wan.busy_fraction(&[45_000.0, 45_000.0, 0.0, 0.0], 900.0);
+        assert!((frac - 1.0).abs() < 1e-9, "got {frac}");
+    }
+
+    #[test]
+    fn busy_profile_conserves_drain_time() {
+        let wan = WanModel::default();
+        let volumes = [45_000.0, 100.0, 0.0, 30_000.0];
+        let (busy, leftover) = wan.busy_profile(&volumes, 900.0);
+        let total_drain: f64 = volumes.iter().map(|&gb| wan.drain_secs(gb)).sum();
+        let accounted: f64 = busy.iter().sum::<f64>() + leftover;
+        assert!((accounted - total_drain).abs() < 1e-6);
+        for &b in &busy {
+            assert!((0.0..=900.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn degenerate_intervals_return_zero_not_nan() {
+        let wan = WanModel::default();
+        for secs in [0.0, -900.0, f64::NAN] {
+            assert_eq!(wan.busy_fraction(&[100.0], secs), 0.0);
+            assert_eq!(wan.peak_utilization(&[100.0], secs), 0.0);
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property tests for the site graph, clique enumeration and link model.
 
 use proptest::prelude::*;
-use vb_net::{k_cliques, maximal_cliques, LinkSimulator, SiteGraph};
+use vb_net::{k_cliques, maximal_cliques, LinkSimulator, SiteGraph, WanModel};
 use vb_trace::Site;
 
 fn arb_sites(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Site>> {
@@ -113,5 +113,54 @@ proptest! {
             link.step(0.0);
         }
         prop_assert!(link.backlog_gb() < 1e-6, "backlog {}", link.backlog_gb());
+    }
+
+    #[test]
+    fn busy_fraction_stays_in_unit_interval(
+        volumes in proptest::collection::vec(0.0..100_000.0f64, 0..40),
+        interval in 1.0..3_600.0f64,
+        gbps in 10.0..1_000.0f64,
+    ) {
+        let wan = WanModel { site_link_gbps: gbps, ..WanModel::default() };
+        let frac = wan.busy_fraction(&volumes, interval);
+        prop_assert!((0.0..=1.0).contains(&frac), "fraction {frac} out of [0,1]");
+        prop_assert!(frac.is_finite());
+    }
+
+    #[test]
+    fn busy_profile_conserves_drain_seconds(
+        volumes in proptest::collection::vec(0.0..100_000.0f64, 1..40),
+        interval in 1.0..3_600.0f64,
+    ) {
+        let wan = WanModel::default();
+        let (busy, leftover) = wan.busy_profile(&volumes, interval);
+        prop_assert_eq!(busy.len(), volumes.len());
+        let total_drain: f64 = volumes.iter().map(|&gb| wan.drain_secs(gb)).sum();
+        let accounted: f64 = busy.iter().sum::<f64>() + leftover;
+        prop_assert!(
+            (accounted - total_drain).abs() < 1e-6 * total_drain.max(1.0),
+            "busy+leftover {accounted} != drain {total_drain}"
+        );
+        prop_assert!(leftover >= 0.0);
+        for &b in &busy {
+            prop_assert!((0.0..=interval + 1e-9).contains(&b));
+        }
+    }
+
+    #[test]
+    fn busy_fraction_never_below_old_clamped_estimate(
+        volumes in proptest::collection::vec(0.0..100_000.0f64, 1..40),
+        interval in 1.0..3_600.0f64,
+    ) {
+        // The carry-over fix can only *increase* the busy estimate: the
+        // old per-interval clamp discarded excess drain work.
+        let wan = WanModel::default();
+        let clamped: f64 = volumes
+            .iter()
+            .map(|&gb| wan.drain_secs(gb).min(interval))
+            .sum::<f64>()
+            / (volumes.len() as f64 * interval);
+        let carried = wan.busy_fraction(&volumes, interval);
+        prop_assert!(carried >= clamped - 1e-12, "carried {carried} < clamped {clamped}");
     }
 }

@@ -45,4 +45,7 @@ pub use mip::{MipConfig, MipPolicy};
 pub use pipeline::{identify_subgraphs, select_group, PipelineConfig};
 pub use policy::{Assignment, PlanContext, Policy, SitePlanInfo};
 pub use replication::{ReplicationModel, ReplicationReport, StandbyMode};
-pub use sim::{DetailedRun, GroupSim, GroupSimConfig, GroupStepStats, PolicySummary, SimError};
+pub use sim::{
+    DetailedRun, GroupSim, GroupSimConfig, GroupStepStats, PolicySummary, SimError,
+    DAY_AHEAD_STEPS, STEPS_PER_DAY,
+};

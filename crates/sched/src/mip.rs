@@ -41,6 +41,7 @@
 
 use crate::greedy::GreedyPolicy;
 use crate::policy::{Assignment, PlanContext, Policy, SiteSnapshot};
+use crate::sim::STEPS_PER_DAY;
 use serde::{Deserialize, Serialize};
 use vb_solver::{LinExpr, Model, Sense, SolveError, VarId};
 
@@ -83,7 +84,7 @@ impl MipConfig {
     /// The "MIP" variant: O1 only, whole-period look-ahead.
     pub fn mip() -> MipConfig {
         MipConfig {
-            horizon_steps: 7 * 96,
+            horizon_steps: 7 * STEPS_PER_DAY,
             minimize_peak: false,
             peak_weight: 0.0,
             gb_per_core: 4.0,
@@ -97,7 +98,7 @@ impl MipConfig {
     /// The "MIP-24h" variant: O1 only, next-day look-ahead.
     pub fn mip_24h() -> MipConfig {
         MipConfig {
-            horizon_steps: 96,
+            horizon_steps: STEPS_PER_DAY,
             minimize_peak: false,
             peak_weight: 0.0,
             gb_per_core: 4.0,
@@ -111,7 +112,7 @@ impl MipConfig {
     /// The "MIP-peak" variant: O1 + O2, whole-period look-ahead.
     pub fn mip_peak() -> MipConfig {
         MipConfig {
-            horizon_steps: 7 * 96,
+            horizon_steps: 7 * STEPS_PER_DAY,
             minimize_peak: true,
             peak_weight: 24.0,
             gb_per_core: 4.0,

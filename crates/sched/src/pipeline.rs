@@ -50,14 +50,12 @@ impl Default for PipelineConfig {
 pub fn identify_subgraphs(catalog: &Catalog, cfg: &PipelineConfig) -> Vec<CliqueScore> {
     let graph = SiteGraph::build(catalog.sites().to_vec(), cfg.latency_threshold_ms);
     let cliques = k_cliques(&graph, cfg.k);
-    let traces: Vec<TimeSeries> = catalog
-        .sites()
-        .iter()
-        .map(|s| {
-            vb_trace::generate_in(s, cfg.start_day, cfg.window_days, catalog.field())
-                .scale(s.capacity_mw)
-        })
-        .collect();
+    let sites = catalog.sites();
+    let traces: Vec<TimeSeries> = vb_par::par_map(sites.len(), |i| {
+        let s = &sites[i];
+        vb_trace::generate_in(s, cfg.start_day, cfg.window_days, catalog.field())
+            .scale(s.capacity_mw)
+    });
     let mut ranked = rank_cliques_by_cov(&graph, &cliques, &traces);
     ranked.truncate(cfg.candidates);
     ranked

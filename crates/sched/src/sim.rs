@@ -51,6 +51,15 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Simulation steps per day at the paper's 15-minute resolution.
+pub const STEPS_PER_DAY: u32 = 96;
+
+/// Day-ahead look-ahead window in steps: how far `site_at_risk` and the
+/// `forecast_min_24h_cores` snapshot scan the day-ahead forecast. Both
+/// must use the same window — the policy's risk assessment is meant to
+/// see exactly the horizon the snapshot summarises.
+pub const DAY_AHEAD_STEPS: usize = STEPS_PER_DAY as usize;
+
 /// Configuration of a group simulation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GroupSimConfig {
@@ -137,7 +146,7 @@ pub struct GroupStepStats {
 
 /// Aggregate result of one policy run — one Table 1 row plus the Fig 7
 /// CDF series.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PolicySummary {
     /// Policy name (Table 1 row label).
     pub policy: String,
@@ -257,31 +266,35 @@ impl GroupSim {
             return Err(SimError::NoSites);
         }
         let field = catalog.field();
-        let sites: Vec<SiteState> = site_names
-            .iter()
-            .map(|name| {
-                let site = catalog
-                    .get(name)
-                    .ok_or_else(|| SimError::UnknownSite(name.to_string()))?
-                    .clone();
-                let actual = generate_in(&site, cfg.start_day, cfg.days, field);
-                let f3 = forecast_for(&actual, &site, Horizon::Hours3, field);
-                let fd = forecast_for(&actual, &site, Horizon::DayAhead, field);
-                let fw = forecast_for(&actual, &site, Horizon::WeekAhead, field);
-                Ok(SiteState {
-                    site,
-                    actual,
-                    f3,
-                    fd,
-                    fw,
-                    apps: Vec::new(),
-                    allocated_cores: 0,
-                    budget_cores: cfg.cores_per_site,
-                })
+        // Per-site trace + forecast generation is the expensive part of
+        // setup; each site is independent, so fan out across cores. The
+        // traces are seeded per site, so the result is identical at any
+        // thread count.
+        let sites: Vec<SiteState> = vb_par::par_map(site_names.len(), |i| {
+            let name = site_names[i];
+            let site = catalog
+                .get(name)
+                .ok_or_else(|| SimError::UnknownSite(name.to_string()))?
+                .clone();
+            let actual = generate_in(&site, cfg.start_day, cfg.days, field);
+            let f3 = forecast_for(&actual, &site, Horizon::Hours3, field);
+            let fd = forecast_for(&actual, &site, Horizon::DayAhead, field);
+            let fw = forecast_for(&actual, &site, Horizon::WeekAhead, field);
+            Ok(SiteState {
+                site,
+                actual,
+                f3,
+                fd,
+                fw,
+                apps: Vec::new(),
+                allocated_cores: 0,
+                budget_cores: cfg.cores_per_site,
             })
-            .collect::<Result<_, SimError>>()?;
+        })
+        .into_iter()
+        .collect::<Result<_, SimError>>()?;
 
-        let n_steps = (cfg.days as u64) * 96;
+        let n_steps = (cfg.days as u64) * STEPS_PER_DAY as u64;
         let app_cfg = cfg.app_cfg.clone().unwrap_or_else(|| {
             // Size demand to ~70% of the group's mean available power.
             let mean_power: f64 = sites
@@ -568,7 +581,7 @@ impl GroupSim {
             .map(|st| {
                 let cap = (self.cfg.target_util * st.budget_cores as f64).floor() as u32;
                 let lo = self.now as usize;
-                let hi = (lo + 96).min(st.fd.len());
+                let hi = (lo + DAY_AHEAD_STEPS).min(st.fd.len());
                 let min_frac = if lo < hi {
                     st.fd.values[lo..hi]
                         .iter()
@@ -697,7 +710,10 @@ impl GroupSim {
                     a.spec.kind == VmKind::Stable
                         && !a.hibernated
                         && a.departs_at > self.now + 24
-                        && self.moved_at.get(id).is_none_or(|&t| self.now >= t + 96)
+                        && self
+                            .moved_at
+                            .get(id)
+                            .is_none_or(|&t| self.now >= t + STEPS_PER_DAY as u64)
                 })
                 .collect();
             victims.sort_by(|a, b| {
@@ -778,7 +794,7 @@ impl GroupSim {
     fn site_at_risk(&self, s: usize) -> bool {
         let site = &self.sites[s];
         let committed = site.allocated_cores as f64;
-        let end = (self.now as usize + 96).min(site.fd.len());
+        let end = (self.now as usize + DAY_AHEAD_STEPS).min(site.fd.len());
         site.fd.values[self.now as usize..end]
             .iter()
             .any(|&f| (f * self.cfg.cores_per_site as f64) < committed)
@@ -787,7 +803,9 @@ impl GroupSim {
     fn build_context(&self, new_apps: &[NewApp], movable: &[MovableApp]) -> PlanContext {
         let bucket = (self.cfg.bucket_steps as usize).max(1);
         let remaining = (self.n_steps - self.now) as usize;
-        let buckets = remaining.div_ceil(bucket).clamp(1, (7 * 96) / bucket);
+        let buckets = remaining
+            .div_ceil(bucket)
+            .clamp(1, (7 * STEPS_PER_DAY as usize) / bucket);
 
         let movable_ids: Vec<AppId> = movable.iter().map(|m| m.id).collect();
         let sites = self
@@ -816,7 +834,7 @@ impl GroupSim {
                     // time (3h-ahead, then day-ahead, then week-ahead).
                     let series = if b * bucket < 12 {
                         &st.f3
-                    } else if b * bucket < 96 {
+                    } else if b * bucket < DAY_AHEAD_STEPS {
                         &st.fd
                     } else {
                         &st.fw

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Compare two vb-telemetry JSONL run reports for determinism.
+
+Usage: diff_run_reports.py A.jsonl B.jsonl
+
+Compares the *metric values* of the two reports — counters,
+float_counters, gauges and histogram shapes from the summary line —
+and the multiset of events. Quantities that legitimately differ
+between runs are excluded:
+
+* spans (wall-clock timings, *_ns),
+* the `elapsed_secs` event field (timing),
+* `par.workers` / `par.worker_tasks` (reflect the thread count by
+  design; `par.tasks` — the amount of work — must still match).
+
+Exit status 0 when the filtered reports are identical, 1 with a diff
+on stdout otherwise.
+"""
+
+import json
+import sys
+
+EXCLUDED_METRICS = {"par.workers", "par.worker_tasks"}
+EXCLUDED_EVENT_FIELDS = {"elapsed_secs"}
+
+
+def load(path):
+    events = []
+    summary = None
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if obj.get("type") == "summary":
+                summary = obj
+            else:
+                events.append(obj)
+    if summary is None:
+        sys.exit(f"{path}: no summary line found")
+    return events, summary
+
+
+def filtered_summary(summary):
+    out = {}
+    for section in ("counters", "float_counters", "gauges", "histograms"):
+        values = summary.get(section, {})
+        out[section] = {
+            name: value
+            for name, value in sorted(values.items())
+            if name not in EXCLUDED_METRICS
+        }
+    return out
+
+
+def filtered_events(events):
+    # Parallel workers interleave event emission, so seq order is not
+    # deterministic — compare the sorted multiset instead.
+    normalized = []
+    for event in events:
+        fields = {
+            key: value
+            for key, value in event.get("fields", {}).items()
+            if key not in EXCLUDED_EVENT_FIELDS
+        }
+        normalized.append(
+            json.dumps({"kind": event.get("kind"), "fields": fields}, sort_keys=True)
+        )
+    return sorted(normalized)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__.strip())
+    (events_a, summary_a), (events_b, summary_b) = (
+        load(sys.argv[1]),
+        load(sys.argv[2]),
+    )
+    ok = True
+
+    fa, fb = filtered_summary(summary_a), filtered_summary(summary_b)
+    for section in fa:
+        if fa[section] != fb[section]:
+            ok = False
+            keys = set(fa[section]) | set(fb[section])
+            for key in sorted(keys):
+                va, vb = fa[section].get(key), fb[section].get(key)
+                if va != vb:
+                    print(f"{section}.{key}: {va!r} != {vb!r}")
+
+    ea, eb = filtered_events(events_a), filtered_events(events_b)
+    if ea != eb:
+        ok = False
+        only_a = [e for e in ea if e not in eb]
+        only_b = [e for e in eb if e not in ea]
+        for e in only_a[:10]:
+            print(f"only in {sys.argv[1]}: {e}")
+        for e in only_b[:10]:
+            print(f"only in {sys.argv[2]}: {e}")
+
+    if not ok:
+        sys.exit(1)
+    print("run reports match (timings and worker counts excluded)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,168 @@
+//! Cold vs warm cross-epoch solver benchmark.
+//!
+//! Solves the same Table-1-shaped placement MIP over a sequence of
+//! epochs whose forecasts (RHS) drift while the structure stays fixed —
+//! once with independent cold solves per epoch, once through
+//! [`vb_solver::solve_mip_epoch`]'s cached-root reuse — and writes the
+//! wall-clock and pivot comparison to `BENCH_solver.json` (override the
+//! path with `VB_BENCH_OUT`; empty string disables the file).
+
+use std::time::Instant;
+use vb_solver::branch::solve_mip_bounded_with;
+use vb_solver::{solve_mip_epoch, EpochCache, Model, Sense, VarId};
+
+const EPOCHS: usize = 96;
+const APPS: usize = 16;
+const SITES: usize = 3;
+const BUCKETS: usize = 6;
+const MAX_NODES: usize = 100_000;
+
+/// Deterministic pseudo-random stream (epoch-independent structure).
+fn mix(seed: usize) -> f64 {
+    let h = (seed as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .rotate_left(31)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Epoch `e` of the placement sequence: app demands, placement costs,
+/// and the constraint matrix are epoch-invariant; only the per-site
+/// capacity forecast (the displacement rows' RHS) drifts with `e`.
+fn epoch_model(e: usize) -> Model {
+    let mut m = Model::new(Sense::Minimize);
+    let x: Vec<Vec<VarId>> = (0..APPS)
+        .map(|a| {
+            (0..SITES)
+                .map(|s| m.bin_var(&format!("a{a}s{s}")))
+                .collect()
+        })
+        .collect();
+    for row in &x {
+        let terms: Vec<(VarId, f64)> = row.iter().map(|&v| (v, 1.0)).collect();
+        let expr = m.expr(&terms);
+        m.add_eq(expr, 1.0);
+    }
+    let cores: Vec<f64> = (0..APPS).map(|a| 20.0 * (1.0 + (a % 4) as f64)).collect();
+    // Each app has a home site (zero placement cost) and distinct
+    // positive costs elsewhere, and every site runs a drifting deficit:
+    // the root relaxation has a unique, integral optimum (everyone
+    // stays home), which is the co-scheduler's common case — epochs are
+    // root-dominated rather than branching-dominated, and the RHS drift
+    // is what the warm repair has to absorb.
+    let home_load: Vec<f64> = (0..SITES)
+        .map(|s| (0..APPS).filter(|a| a % SITES == s).map(|a| cores[a]).sum())
+        .collect();
+    let mut objective = Vec::new();
+    for s in 0..SITES {
+        for b in 0..BUCKETS {
+            let d = m.var(&format!("d{s}b{b}"), 0.0, f64::INFINITY);
+            let deficit = 0.6 + 0.3 * mix(1000 * e + 10 * s + b);
+            let capacity = home_load[s] * deficit;
+            let mut lhs = vec![(d, 1.0)];
+            for (a, xr) in x.iter().enumerate() {
+                lhs.push((xr[s], -cores[a]));
+            }
+            let expr = m.expr(&lhs);
+            m.add_ge(expr, -capacity.round());
+            objective.push((d, 4.0));
+        }
+    }
+    for (a, row) in x.iter().enumerate() {
+        for (s, &v) in row.iter().enumerate() {
+            if s != a % SITES {
+                objective.push((v, (10 + (7 * a + 3 * s) % 13) as f64));
+            }
+        }
+    }
+    let expr = m.expr(&objective);
+    m.set_objective(expr);
+    m
+}
+
+fn pivots_now() -> u64 {
+    vb_telemetry::snapshot()
+        .counter("solver.pivots")
+        .unwrap_or(0)
+}
+
+fn main() {
+    let run = vb_bench::report::BenchRun::start("solver_perf");
+    let models: Vec<Model> = (0..EPOCHS).map(epoch_model).collect();
+
+    // Cold path: every epoch solved from scratch (B&B children still
+    // warm-start from their parents — that part is shared).
+    let p0 = pivots_now();
+    let t0 = Instant::now();
+    let cold_obj: Vec<f64> = models
+        .iter()
+        .map(|m| {
+            solve_mip_bounded_with(m, MAX_NODES, true)
+                .expect("placement epochs are feasible")
+                .objective
+        })
+        .collect();
+    let cold_secs = t0.elapsed().as_secs_f64();
+    let cold_pivots = pivots_now() - p0;
+
+    // Warm path: each epoch's root repaired from the previous optimum.
+    let p1 = pivots_now();
+    let t1 = Instant::now();
+    let mut cache: Option<EpochCache> = None;
+    let mut warm_hits = 0usize;
+    let warm_obj: Vec<f64> = models
+        .iter()
+        .map(|m| {
+            let (sol, next, hit) = solve_mip_epoch(m, MAX_NODES, cache.as_ref())
+                .expect("placement epochs are feasible");
+            cache = Some(next);
+            warm_hits += hit as usize;
+            sol.objective
+        })
+        .collect();
+    let warm_secs = t1.elapsed().as_secs_f64();
+    let warm_pivots = pivots_now() - p1;
+
+    let drift = cold_obj
+        .iter()
+        .zip(&warm_obj)
+        .map(|(c, w)| (c - w).abs())
+        .fold(0.0f64, f64::max);
+    assert!(drift < 1e-6, "warm epochs changed an optimum by {drift}");
+
+    let pivot_cut = if cold_pivots > 0 {
+        1.0 - warm_pivots as f64 / cold_pivots as f64
+    } else {
+        0.0
+    };
+    let speedup = if warm_secs > 0.0 {
+        cold_secs / warm_secs
+    } else {
+        0.0
+    };
+    println!("epoch reuse over {EPOCHS} epochs ({APPS} apps x {SITES} sites x {BUCKETS} buckets):");
+    println!("  cold: {cold_secs:.4}s, {cold_pivots} pivots");
+    println!(
+        "  warm: {warm_secs:.4}s, {warm_pivots} pivots ({warm_hits}/{} hits)",
+        EPOCHS - 1
+    );
+    println!(
+        "  speedup {speedup:.2}x, pivots cut {:.0}%",
+        100.0 * pivot_cut
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"solver_epoch_reuse\",\n  \"epochs\": {EPOCHS},\n  \"apps\": {APPS},\n  \"sites\": {SITES},\n  \"buckets\": {BUCKETS},\n  \"cold_secs\": {cold_secs:.6},\n  \"warm_secs\": {warm_secs:.6},\n  \"speedup\": {speedup:.4},\n  \"cold_pivots\": {cold_pivots},\n  \"warm_pivots\": {warm_pivots},\n  \"pivot_reduction\": {pivot_cut:.4},\n  \"warm_hits\": {warm_hits},\n  \"max_objective_drift\": {drift:.3e}\n}}\n"
+    );
+    // Default next to the workspace root (cargo runs benches from the
+    // package directory), overridable with VB_BENCH_OUT.
+    let path = std::env::var("VB_BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json").into());
+    if !path.is_empty() {
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(err) => eprintln!("could not write {path}: {err}"),
+        }
+    }
+    run.finish();
+}

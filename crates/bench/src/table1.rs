@@ -77,9 +77,25 @@ pub fn run_on_group_with(seed: u64, names: &[&str], cfg: GroupSimConfig) -> Tabl
             2 => Box::new(MipPolicy::new(MipConfig::mip())),
             _ => Box::new(MipPolicy::new(MipConfig::mip_peak())),
         };
-        GroupSim::new(&catalog, names, cfg.clone())
+        let summary = GroupSim::new(&catalog, names, cfg.clone())
             .expect("Table 1 sites must exist in the catalog")
-            .run(policy.as_mut())
+            .run(policy.as_mut());
+        // Per-policy solver accounting into the run report, so warm-start
+        // regressions show up in `scripts/diff_run_reports.py`.
+        if let Some(st) = policy.mip_stats() {
+            vb_telemetry::event(
+                "sched.mip_stats",
+                &[
+                    ("policy", policy.name().into()),
+                    ("epochs_planned", st.epochs_planned.into()),
+                    ("epoch_warm_hits", st.epoch_warm_hits.into()),
+                    ("epoch_warm_misses", st.epoch_warm_misses.into()),
+                    ("fallback_epochs", st.fallback_epochs.into()),
+                    ("warm_hit_rate", st.warm_hit_rate().into()),
+                ],
+            );
+        }
+        summary
     });
     Table1Report {
         group: names.iter().map(|s| s.to_string()).collect(),

@@ -41,7 +41,7 @@ pub mod sim;
 
 pub use app::{AppGen, AppGenConfig, AppSpec};
 pub use greedy::GreedyPolicy;
-pub use mip::{MipConfig, MipPolicy};
+pub use mip::{MipConfig, MipPolicy, MipStats};
 pub use pipeline::{identify_subgraphs, select_group, PipelineConfig};
 pub use policy::{Assignment, PlanContext, Policy, SitePlanInfo};
 pub use replication::{ReplicationModel, ReplicationReport, StandbyMode};

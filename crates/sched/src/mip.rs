@@ -38,6 +38,17 @@
 //! The solve is exact (branch & bound over the `vb-solver` simplex);
 //! if the solver ever fails (iteration safety valve), the epoch falls
 //! back to greedy placement, so a simulation always completes.
+//!
+//! With [`MipConfig::reuse_across_epochs`] (default on) the policy also
+//! caches the solved root relaxation's basis together with the model's
+//! structural fingerprint. When the next epoch builds a structurally
+//! identical model — same apps × sites × buckets, only the
+//! forecast-driven RHS and objective moved — the root is dual-repaired
+//! from that basis instead of re-solved from scratch; any structural
+//! drift or failed repair falls back to a cold root. The plan is
+//! bit-identical either way (the branch & bound below the root is
+//! shared); only the simplex pivot count drops. [`MipStats`] counts
+//! hits, misses, and greedy fallbacks per policy.
 
 use crate::greedy::GreedyPolicy;
 use crate::policy::{Assignment, PlanContext, Policy, SiteSnapshot};
@@ -76,6 +87,13 @@ pub struct MipConfig {
     pub balance_weight: f64,
     /// Branch & bound node budget per epoch (anytime solve).
     pub max_nodes: usize,
+    /// Reuse solver state across epochs: cache the model skeleton and
+    /// the root relaxation's optimal basis, and warm-start the next
+    /// epoch's root from it when the structure is unchanged (same apps ×
+    /// sites × buckets; only RHS/objective moved). Purely a performance
+    /// lever — plans are identical either way, because the branch & bound
+    /// below the root is shared and a warm root lands on the same optimum.
+    pub reuse_across_epochs: bool,
     /// Display name (Table 1 row label).
     pub name: String,
 }
@@ -91,6 +109,7 @@ impl MipConfig {
             move_cost_factor: 6.0,
             balance_weight: 4.0,
             max_nodes: 400,
+            reuse_across_epochs: true,
             name: "MIP".into(),
         }
     }
@@ -105,6 +124,7 @@ impl MipConfig {
             move_cost_factor: 6.0,
             balance_weight: 4.0,
             max_nodes: 400,
+            reuse_across_epochs: true,
             name: "MIP-24h".into(),
         }
     }
@@ -119,7 +139,41 @@ impl MipConfig {
             move_cost_factor: 2.5,
             balance_weight: 4.0,
             max_nodes: 400,
+            reuse_across_epochs: true,
             name: "MIP-peak".into(),
+        }
+    }
+}
+
+/// Per-run solver statistics of a MIP policy: how many epochs were
+/// planned through the exact solver, how often the cross-epoch warm
+/// start paid off, and how often the epoch degraded to greedy. Surfaced
+/// in run reports so regressions in the reuse machinery show up in
+/// `scripts/diff_run_reports.py`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MipStats {
+    /// Epochs that reached the MIP solve (excludes empty and
+    /// single-site epochs, which never build a model).
+    pub epochs_planned: usize,
+    /// Epochs whose root relaxation was repaired from the previous
+    /// epoch's optimal basis instead of solved from scratch.
+    pub epoch_warm_hits: usize,
+    /// Epochs solved through a cold root: the first epoch, a structural
+    /// change (apps/sites/buckets moved), a failed warm repair, or
+    /// `reuse_across_epochs = false`.
+    pub epoch_warm_misses: usize,
+    /// Epochs where the exact solve failed and greedy stepped in.
+    pub fallback_epochs: usize,
+}
+
+impl MipStats {
+    /// Warm-start hit rate over solver-planned epochs (0.0 when none).
+    pub fn warm_hit_rate(&self) -> f64 {
+        let tried = self.epoch_warm_hits + self.epoch_warm_misses;
+        if tried == 0 {
+            0.0
+        } else {
+            self.epoch_warm_hits as f64 / tried as f64
         }
     }
 }
@@ -129,8 +183,10 @@ impl MipConfig {
 pub struct MipPolicy {
     cfg: MipConfig,
     fallback: GreedyPolicy,
-    /// Epochs where the exact solve failed and greedy stepped in.
-    fallbacks_used: usize,
+    /// Last epoch's model skeleton + optimal root state, reused to
+    /// warm-start the next structurally identical epoch.
+    cache: Option<vb_solver::EpochCache>,
+    stats: MipStats,
 }
 
 impl MipPolicy {
@@ -139,7 +195,8 @@ impl MipPolicy {
         MipPolicy {
             cfg,
             fallback: GreedyPolicy::new(),
-            fallbacks_used: 0,
+            cache: None,
+            stats: MipStats::default(),
         }
     }
 
@@ -150,10 +207,16 @@ impl MipPolicy {
 
     /// How many epochs fell back to greedy (0 in healthy runs).
     pub fn fallbacks_used(&self) -> usize {
-        self.fallbacks_used
+        self.stats.fallback_epochs
     }
 
-    fn solve(&self, ctx: &PlanContext) -> Result<Vec<Assignment>, SolveError> {
+    /// Solver statistics accumulated so far in this run.
+    pub fn stats(&self) -> MipStats {
+        self.stats
+    }
+
+    fn solve(&mut self, ctx: &PlanContext) -> Result<Vec<Assignment>, SolveError> {
+        self.stats.epochs_planned += 1;
         let n_sites = ctx.sites.len();
         // Ceiling division: a partial final bucket still belongs to the
         // look-ahead (a 100-step horizon with 12-step buckets must plan
@@ -293,12 +356,38 @@ impl MipPolicy {
         m.set_objective(objective);
         // Anytime solve: epochs arrive every 3 simulated hours; a node
         // budget keeps planning latency bounded while the root dive
-        // guarantees a good incumbent.
-        let sol = m.solve_bounded(self.cfg.max_nodes)?;
+        // guarantees a good incumbent. With cross-epoch reuse on, the
+        // root relaxation is repaired from the previous epoch's optimal
+        // basis whenever the model structure is unchanged; both paths
+        // run the same branch & bound below the root, so the resulting
+        // plan is identical — only the pivot count differs.
+        let sol = if self.cfg.reuse_across_epochs {
+            match vb_solver::solve_mip_epoch(&m, self.cfg.max_nodes, self.cache.as_ref()) {
+                Ok((sol, next_cache, warm_hit)) => {
+                    if warm_hit {
+                        self.stats.epoch_warm_hits += 1;
+                    } else {
+                        self.stats.epoch_warm_misses += 1;
+                    }
+                    self.cache = Some(next_cache);
+                    sol
+                }
+                Err(e) => {
+                    // A failed epoch leaves no state worth trusting.
+                    self.cache = None;
+                    return Err(e);
+                }
+            }
+        } else {
+            m.solve_bounded(self.cfg.max_nodes)?
+        };
         // A solver-tolerance pathology could in principle leave NaN/∞ in
         // the solution; route it into the greedy fallback rather than
         // letting a NaN-poisoned readout abort the whole simulation.
         if !sol.objective.is_finite() || sol.values().iter().any(|v| !v.is_finite()) {
+            // Don't warm-start the next epoch from a basis that produced
+            // non-finite values.
+            self.cache = None;
             return Err(SolveError::BadModel("non-finite MIP solution".into()));
         }
 
@@ -354,6 +443,10 @@ impl Policy for MipPolicy {
             .map(|(i, _)| i)
     }
 
+    fn mip_stats(&self) -> Option<MipStats> {
+        Some(self.stats)
+    }
+
     fn plan(&mut self, ctx: &PlanContext) -> Vec<Assignment> {
         let _span = vb_telemetry::span!("sched.mip_plan");
         if ctx.new_apps.is_empty() && ctx.movable.is_empty() {
@@ -370,7 +463,7 @@ impl Policy for MipPolicy {
         match self.solve(ctx) {
             Ok(plan) => plan,
             Err(_) => {
-                self.fallbacks_used += 1;
+                self.stats.fallback_epochs += 1;
                 vb_telemetry::counter!("sched.mip_fallbacks").inc();
                 vb_telemetry::event(
                     "sched.mip_fallback",
@@ -625,6 +718,56 @@ mod tests {
         let mut pol = MipPolicy::new(MipConfig::mip());
         let chosen = pol.choose_rehost(&sites, 10);
         assert!(chosen.is_some(), "must pick a site, not panic");
+    }
+
+    #[test]
+    fn epoch_reuse_matches_cold_plans_and_counts_hits() {
+        // Five epochs over the same apps × sites × buckets with drifting
+        // forecasts. The capacities are chosen so each epoch has a
+        // *unique* zero-cost placement (new0→a, new1→b, movable stays),
+        // hence warm and cold roots must converge to the same plan.
+        // balance_weight = 0 keeps the constraint matrix free of
+        // capacity-dependent coefficients, so only the RHS moves between
+        // epochs and the skeleton matches.
+        let cfg = MipConfig {
+            balance_weight: 0.0,
+            ..MipConfig::mip()
+        };
+        let mut warm = MipPolicy::new(cfg.clone());
+        let mut cold = MipPolicy::new(MipConfig {
+            reuse_across_epochs: false,
+            ..cfg
+        });
+        for e in 0..5 {
+            let drift = 5.0 * e as f64;
+            let ctx = PlanContext {
+                now: 0,
+                bucket_steps: 12,
+                sites: vec![
+                    site("a", vec![250.0 + drift; 4], vec![40.0; 4]),
+                    site("b", vec![140.0 - 3.0 * drift / 5.0; 4], vec![40.0; 4]),
+                ],
+                new_apps: vec![new_app(0, 30, 48), new_app(1, 20, 48)],
+                movable: vec![MovableApp {
+                    id: AppId(9),
+                    current_site: 0,
+                    cores: 80,
+                    mem_gb: 320.0,
+                    remaining_steps: 48,
+                }],
+            };
+            assert_eq!(warm.plan(&ctx), cold.plan(&ctx), "epoch {e}");
+        }
+        let st = warm.mip_stats().unwrap();
+        assert_eq!(st.epochs_planned, 5);
+        assert_eq!(st.epoch_warm_hits, 4, "every epoch after the first is warm");
+        assert_eq!(st.epoch_warm_misses, 1);
+        assert_eq!(st.fallback_epochs, 0);
+        assert!((st.warm_hit_rate() - 0.8).abs() < 1e-12);
+        // The reuse-disabled policy never attempts the warm path.
+        let cst = cold.mip_stats().unwrap();
+        assert_eq!(cst.epoch_warm_hits + cst.epoch_warm_misses, 0);
+        assert_eq!(cst.epochs_planned, 5);
     }
 
     #[test]

@@ -150,6 +150,12 @@ pub trait Policy {
             .max_by_key(|(_, s)| s.headroom())
             .map(|(i, _)| i)
     }
+
+    /// Solver statistics for policies backed by the exact MIP solver
+    /// (warm-start hits, fallback epochs). `None` for heuristics.
+    fn mip_stats(&self) -> Option<crate::mip::MipStats> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -17,9 +17,16 @@
 //! degenerate ties, so alternate optimal *vertices* are possible);
 //! [`solve_mip_bounded_with`] exposes a cold mode for differential tests
 //! and pivot-count comparisons.
+//!
+//! [`solve_mip_epoch`] extends the reuse *across* solves: when the same
+//! model structure is re-solved every scheduling epoch with fresh
+//! RHS/objective values, the previous epoch's optimal root state seeds
+//! the new root relaxation (gated by [`ModelSkeleton`]), and only the
+//! pivot count changes — the search below the root is identical.
 
 use crate::model::{Model, Sense, Solution, SolveError, VarId};
 use crate::simplex::{self, SimplexState};
+use crate::skeleton::ModelSkeleton;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::rc::Rc;
@@ -60,6 +67,82 @@ pub fn solve_mip_bounded_with(
 ) -> Result<Solution, SolveError> {
     let _span = vb_telemetry::span!("solver.mip_solve");
     vb_telemetry::counter!("solver.mip_solves").inc();
+    // Root relaxation is always a cold solve.
+    let root = simplex::solve_lp_state(model, &[], None)?;
+    solve_mip_from_root(model, max_nodes, warm_start, root)
+}
+
+/// Cross-epoch solver cache: the structural fingerprint of the last
+/// epoch's model plus its optimal root-relaxation state. Produced and
+/// consumed by [`solve_mip_epoch`]; opaque to callers.
+#[derive(Debug, Clone)]
+pub struct EpochCache {
+    skeleton: ModelSkeleton,
+    root_state: SimplexState,
+}
+
+impl EpochCache {
+    /// Nonzero count of the cached constraint matrix (exposed so
+    /// schedulers can report model sparsity without rebuilding it).
+    pub fn nnz(&self) -> usize {
+        self.skeleton.nnz()
+    }
+}
+
+/// Solve one epoch of a repeated MIP, warm-starting the root relaxation
+/// from the previous epoch's optimal state when the model is
+/// structurally identical (same constraint matrix, senses, dimensions,
+/// and integrality — objective, RHS, and variable bounds may differ).
+///
+/// On a structure mismatch, absent cache, or failed basis repair the
+/// root falls back to a cold solve — the search result is identical
+/// either way, only the pivot count changes. Returns the solution, the
+/// cache to carry into the next epoch, and whether the warm path was
+/// taken (also counted in `solver.epoch_warm_hits` / `_misses`).
+pub fn solve_mip_epoch(
+    model: &Model,
+    max_nodes: usize,
+    cache: Option<&EpochCache>,
+) -> Result<(Solution, EpochCache, bool), SolveError> {
+    let _span = vb_telemetry::span!("solver.mip_solve");
+    vb_telemetry::counter!("solver.mip_solves").inc();
+    model.validate()?;
+
+    // `Err(Infeasible)` from the repair is NOT trusted as a certificate
+    // here: unlike the branch-and-bound warm start (same model, only
+    // bounds moved), an epoch swapped in new RHS values, and a frozen
+    // redundant row can make the repair fail on a feasible model. Any
+    // warm failure just means a cold root.
+    let warm_root = cache
+        .filter(|c| c.skeleton.matches(model))
+        .and_then(|c| simplex::solve_lp_epoch_warm(model, &c.root_state).ok());
+    let hit = warm_root.is_some();
+    if hit {
+        vb_telemetry::counter!("solver.epoch_warm_hits").inc();
+    } else {
+        vb_telemetry::counter!("solver.epoch_warm_misses").inc();
+    }
+    let root = match warm_root {
+        Some(r) => r,
+        None => simplex::solve_lp_state(model, &[], None)?,
+    };
+    let next = EpochCache {
+        skeleton: ModelSkeleton::of(model),
+        root_state: root.1.clone(),
+    };
+    let sol = solve_mip_from_root(model, max_nodes, true, root)?;
+    Ok((sol, next, hit))
+}
+
+/// The branch & bound search proper, starting from an already-solved
+/// root relaxation (cold or epoch-warm — the search below it is
+/// identical, so warm and cold epochs produce the same schedule).
+fn solve_mip_from_root(
+    model: &Model,
+    max_nodes: usize,
+    warm_start: bool,
+    root: (Solution, SimplexState),
+) -> Result<Solution, SolveError> {
     let int_vars: Vec<VarId> = model
         .vars
         .iter()
@@ -68,8 +151,7 @@ pub fn solve_mip_bounded_with(
         .map(|(i, _)| VarId(i))
         .collect();
 
-    // Root relaxation is always a cold solve.
-    let (root, root_state) = simplex::solve_lp_state(model, &[], None)?;
+    let (root, root_state) = root;
     let root_state = Rc::new(root_state);
 
     let better = |a: f64, b: f64| match model.sense {
@@ -460,6 +542,82 @@ mod tests {
         let e = m.expr(&obj_terms);
         m.set_objective(e);
         m
+    }
+
+    /// A small placement MIP with a parameterised capacity vector — the
+    /// same structure every epoch, only the capacity RHS moves. Distinct
+    /// costs make the integer optimum unique.
+    fn epoch_placement(caps: [f64; 2]) -> Model {
+        let mut m = Model::new(Sense::Minimize);
+        let sizes = [2.0, 3.0, 1.0, 4.0];
+        let costs = [[1.0, 6.0], [5.0, 2.0], [3.0, 4.0], [7.0, 1.5]];
+        let mut x = Vec::new();
+        for a in 0..4 {
+            let row: Vec<VarId> = (0..2).map(|s| m.bin_var(&format!("a{a}s{s}"))).collect();
+            let terms: Vec<(VarId, f64)> = row.iter().map(|&v| (v, 1.0)).collect();
+            let e = m.expr(&terms);
+            m.add_eq(e, 1.0);
+            x.push(row);
+        }
+        for s in 0..2 {
+            let terms: Vec<(VarId, f64)> =
+                x.iter().zip(&sizes).map(|(row, &c)| (row[s], c)).collect();
+            let e = m.expr(&terms);
+            m.add_le(e, caps[s]);
+        }
+        let mut obj = Vec::new();
+        for (a, row) in x.iter().enumerate() {
+            for (s, &v) in row.iter().enumerate() {
+                obj.push((v, costs[a][s]));
+            }
+        }
+        let e = m.expr(&obj);
+        m.set_objective(e);
+        m
+    }
+
+    #[test]
+    fn epoch_warm_solves_match_the_cold_path() {
+        // Cross-epoch reuse must change only the pivot count, never the
+        // schedule: every epoch's solution must equal the cold solve's.
+        let mut cache: Option<EpochCache> = None;
+        let epochs = [[6.0, 6.0], [5.0, 8.0], [8.0, 4.0], [6.0, 6.0], [7.0, 7.0]];
+        for (k, caps) in epochs.into_iter().enumerate() {
+            let m = epoch_placement(caps);
+            let (warm, next, hit) = solve_mip_epoch(&m, MAX_NODES, cache.as_ref()).unwrap();
+            let cold = solve_mip_bounded_with(&m, MAX_NODES, true).unwrap();
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-9,
+                "epoch {k}: warm obj {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+            for j in 0..8 {
+                assert_eq!(
+                    warm.int_value(VarId(j)),
+                    cold.int_value(VarId(j)),
+                    "epoch {k}: placement diverged on var {j}"
+                );
+            }
+            assert_eq!(hit, k > 0, "epoch {k}: unexpected warm status");
+            cache = Some(next);
+        }
+    }
+
+    #[test]
+    fn epoch_cache_misses_on_structure_change() {
+        let m = epoch_placement([6.0, 6.0]);
+        let (_, cache, hit) = solve_mip_epoch(&m, MAX_NODES, None).unwrap();
+        assert!(!hit, "first epoch has no cache to hit");
+        assert_eq!(cache.nnz(), 8 + 8);
+
+        // A moved coefficient (app 0 grows) must force the cold path —
+        // and still solve correctly.
+        let mut grown = epoch_placement([6.0, 6.0]);
+        grown.constraints[4].coefs[0].1 = 2.5;
+        let (sol, _, hit) = solve_mip_epoch(&grown, MAX_NODES, Some(&cache)).unwrap();
+        assert!(!hit, "structure change must miss");
+        assert!(sol.objective.is_finite());
     }
 
     #[test]

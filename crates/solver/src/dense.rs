@@ -65,10 +65,12 @@ pub fn solve_lp_reference(
     }
     let mut rows: Vec<Row> = Vec::with_capacity(model.constraints.len() + n);
     for c in &model.constraints {
-        // Constraints created before later variables were added carry
-        // shorter coefficient vectors; pad them with zeros.
-        let mut coefs = c.coefs.clone();
-        coefs.resize(n, 0.0);
+        // The model stores rows sparsely; this reference path stays
+        // dense, so expand each row over all n variables.
+        let mut coefs = vec![0.0; n];
+        for &(v, a) in &c.coefs {
+            coefs[v.0] += a;
+        }
         let shift: f64 = coefs.iter().zip(&lb).map(|(a, l)| a * l).sum();
         rows.push(Row {
             coefs,

@@ -11,19 +11,25 @@
 //! * [`model`] — a small modelling layer: variables with bounds and
 //!   integrality, linear expressions, `≤ / ≥ / =` constraints, and a
 //!   minimise/maximise objective.
-//! * [`simplex`] — a dense bounded-variable primal simplex for the LP
-//!   relaxations (variable bounds never become tableau rows), with a
-//!   dual-simplex warm-start path and a Bland-rule fallback for
-//!   anti-cycling.
+//! * [`simplex`] — a sparse bounded-variable primal simplex for the LP
+//!   relaxations (variable bounds never become tableau rows; rows store
+//!   nonzeros only and pivots touch only nonzero columns), with
+//!   candidate-list partial pricing, a dual-simplex warm-start path,
+//!   and a Bland-rule fallback for anti-cycling.
 //! * [`branch`] — best-first branch & bound on fractional integer
 //!   variables, giving exact MIP optima; child nodes warm-start from
-//!   their parent's optimal basis.
+//!   their parent's optimal basis, and [`branch::solve_mip_epoch`]
+//!   carries the optimal root state *across* successive solves of a
+//!   structurally identical model (the co-scheduler's epoch loop).
+//! * [`skeleton`] — the structural fingerprint ([`ModelSkeleton`]) that
+//!   gates cross-epoch state reuse.
 //! * [`dense`] — the original row-expansion two-phase simplex, kept as
 //!   an independent oracle for differential testing.
 //!
-//! The scheduler's MIPs are small (tens to a few hundred variables), so
-//! a dense exact method is both simpler and sufficient; a commercial
-//! solver would return the same optima.
+//! The scheduler's MIPs are small (tens to a few hundred variables) but
+//! repeat every epoch with only forecast-driven RHS/objective changes,
+//! so the hot path is sparse and persistent; a commercial solver would
+//! return the same optima.
 //!
 //! ```
 //! use vb_solver::{Model, Sense};
@@ -44,5 +50,8 @@ pub mod branch;
 pub mod dense;
 pub mod model;
 pub mod simplex;
+pub mod skeleton;
 
+pub use branch::{solve_mip_epoch, EpochCache};
 pub use model::{Cmp, LinExpr, Model, Sense, Solution, SolveError, VarId};
+pub use skeleton::ModelSkeleton;

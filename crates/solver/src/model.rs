@@ -9,6 +9,11 @@
 use crate::branch;
 use crate::simplex;
 
+/// Coefficients at or below this magnitude are dropped during
+/// canonicalization — they are numerical noise and would only bloat the
+/// sparse rows.
+const COEF_EPS: f64 = 1e-12;
+
 /// Handle to a model variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VarId(pub(crate) usize);
@@ -85,13 +90,22 @@ impl LinExpr {
                 .sum::<f64>()
     }
 
-    /// Collapse duplicate variables into single coefficients.
-    pub(crate) fn compact(&self, n_vars: usize) -> Vec<f64> {
-        let mut coefs = vec![0.0; n_vars];
+    /// Canonicalize in place: sort terms by variable id, sum duplicate
+    /// `(var, coef)` entries, and drop ~zero coefficients. `add_term` /
+    /// `plus` just push, so expressions built incrementally may carry
+    /// duplicates until the model canonicalizes them at row/objective
+    /// construction time.
+    pub fn canonicalize(&mut self) {
+        self.terms.sort_by_key(|&(v, _)| v.0);
+        let mut out: Vec<(VarId, f64)> = Vec::with_capacity(self.terms.len());
         for &(v, c) in &self.terms {
-            coefs[v.0] += c;
+            match out.last_mut() {
+                Some(&mut (lv, ref mut lc)) if lv == v => *lc += c,
+                _ => out.push((v, c)),
+            }
         }
-        coefs
+        out.retain(|&(_, c)| c.abs() > COEF_EPS);
+        self.terms = out;
     }
 }
 
@@ -104,10 +118,13 @@ pub(crate) struct Variable {
     pub integer: bool,
 }
 
-/// A linear constraint `expr cmp rhs`.
+/// A linear constraint `expr cmp rhs`, stored sparsely: `coefs` holds
+/// only nonzero `(var, coef)` entries, sorted by variable id with
+/// duplicates already summed (the canonical form produced by
+/// [`LinExpr::canonicalize`]).
 #[derive(Debug, Clone)]
 pub(crate) struct Constraint {
-    pub coefs: Vec<f64>,
+    pub coefs: Vec<(VarId, f64)>,
     pub cmp: Cmp,
     pub rhs: f64,
 }
@@ -252,18 +269,20 @@ impl Model {
     }
 
     /// Add a constraint with an explicit comparison operator. The
-    /// expression's constant is folded into the right-hand side.
-    pub fn add_constraint(&mut self, expr: LinExpr, cmp: Cmp, rhs: f64) {
-        let coefs = expr.compact(self.vars.len());
+    /// expression is canonicalized (duplicates summed, ~zero terms
+    /// dropped) and its constant is folded into the right-hand side.
+    pub fn add_constraint(&mut self, mut expr: LinExpr, cmp: Cmp, rhs: f64) {
+        expr.canonicalize();
         self.constraints.push(Constraint {
-            coefs,
+            coefs: expr.terms,
             cmp,
             rhs: rhs - expr.constant,
         });
     }
 
-    /// Set the objective expression.
-    pub fn set_objective(&mut self, expr: LinExpr) {
+    /// Set the objective expression (canonicalized like constraints).
+    pub fn set_objective(&mut self, mut expr: LinExpr) {
+        expr.canonicalize();
         self.objective = expr.terms;
         self.objective_const = expr.constant;
     }
@@ -302,7 +321,7 @@ impl Model {
         simplex::solve_lp(self, bound_overrides)
     }
 
-    fn validate(&self) -> Result<(), SolveError> {
+    pub(crate) fn validate(&self) -> Result<(), SolveError> {
         for v in &self.vars {
             if v.lb > v.ub {
                 return Err(SolveError::BadModel(format!(
@@ -337,7 +356,32 @@ mod tests {
         let x = m.var("x", 0.0, 10.0);
         let e = LinExpr::term(x, 2.0).add_term(x, 3.0).add_const(1.0);
         assert_eq!(e.eval(&[2.0]), 11.0);
-        assert_eq!(e.compact(1), vec![5.0]);
+    }
+
+    #[test]
+    fn canonicalize_sums_duplicates_and_drops_zeros() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.var("x", 0.0, 10.0);
+        let y = m.var("y", 0.0, 10.0);
+        let z = m.var("z", 0.0, 10.0);
+        // Out of order, duplicated, with terms that cancel exactly.
+        let mut e = LinExpr::term(z, 4.0)
+            .add_term(x, 2.0)
+            .add_term(y, -1.5)
+            .add_term(x, 3.0)
+            .add_term(y, 1.5)
+            .add_term(z, 1e-13);
+        e.canonicalize();
+        assert_eq!(e.terms, vec![(x, 5.0), (z, 4.0 + 1e-13)]);
+
+        // Row construction canonicalizes too: the stored constraint has
+        // one summed entry per variable, sorted, zeros gone.
+        let row = LinExpr::term(y, 1.0)
+            .add_term(x, 2.0)
+            .add_term(y, -1.0)
+            .add_term(x, 1.0);
+        m.add_le(row, 7.0);
+        assert_eq!(m.constraints[0].coefs, vec![(x, 3.0)]);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Bounded-variable primal simplex with a dual-simplex warm-start path.
+//! Sparse bounded-variable primal simplex with dual-simplex warm starts.
 //!
 //! Solves the LP relaxation of a [`Model`]. Unlike the textbook
 //! row-expansion construction (retained in [`crate::dense`] as a
@@ -10,13 +10,37 @@
 //! with thousands of placement binaries therefore solves on a tableau
 //! with one row per *constraint* only.
 //!
-//! The engine exposes its final state ([`SimplexState`]) so branch &
-//! bound can **warm-start** child nodes: a child clones its parent's
-//! optimal tableau, applies the branching bound change (which preserves
-//! dual feasibility — reduced costs do not depend on bounds), repairs
-//! primal feasibility with a dual-simplex phase, and finishes with a
-//! primal clean-up pass. Typical children re-optimise in a handful of
-//! pivots instead of two full phases from the all-slack basis.
+//! The tableau rows themselves are **sparse** ([`SpRow`]): placement
+//! rows touch a handful of variables, so Gauss–Jordan elimination walks
+//! only the nonzero columns of the pivot row (entries that cancel below
+//! a drop tolerance are removed). Entering columns are priced with a
+//! cyclic candidate-list (**partial pricing**) scheme: a Dantzig scan
+//! over a block of columns starting at a persisted cursor, falling back
+//! to a full lowest-index Bland scan for anti-cycling after a fixed
+//! number of iterations. All tie-breaks remain by lowest index, so
+//! solves are deterministic for a given model — Table 1 / Fig 4 outputs
+//! stay reproducible.
+//!
+//! The engine exposes its final state ([`SimplexState`]) so callers can
+//! **warm-start** follow-up solves:
+//!
+//! * Branch & bound children ([`solve_lp_state`] with `warm`): same
+//!   model, only variable bounds differ. The child clones its parent's
+//!   optimal tableau, applies the branching bound change (which
+//!   preserves dual feasibility — reduced costs do not depend on
+//!   bounds), repairs primal feasibility with a dual-simplex phase, and
+//!   finishes with a primal clean-up pass.
+//! * Cross-epoch re-solves ([`solve_lp_epoch_warm`]): a *structurally
+//!   identical* model — same constraint matrix, senses, and integrality
+//!   — whose objective, right-hand sides, and variable bounds moved
+//!   (the MIP co-scheduler re-plans the same sites × apps × buckets
+//!   model every epoch with fresh forecasts). Because the tableau
+//!   coefficients depend only on the constraint matrix and the basis,
+//!   the retained state stays valid; the basic values are retargeted
+//!   through the logical-column block (`Δr = T_logical · Δb`), bounds
+//!   re-applied, and the previous optimal basis repaired with the same
+//!   dual-simplex pass. Callers gate structure equality with
+//!   [`crate::skeleton::ModelSkeleton`].
 //!
 //! Construction of a cold solve:
 //!
@@ -30,11 +54,6 @@
 //!    infeasible), then artificials are expelled and frozen at zero.
 //! 4. **Phase 2** minimises the real objective (maximisation by
 //!    negation) with artificials barred from entering.
-//!
-//! Pivoting uses Dantzig's rule with an automatic switch to Bland's rule
-//! after a fixed number of iterations, and all tie-breaks are by lowest
-//! index, so solves are deterministic for a given model — Table 1 /
-//! Fig 4 outputs stay reproducible.
 
 use crate::model::{Cmp, Model, Sense, Solution, SolveError, VarId};
 
@@ -46,6 +65,125 @@ const COST_EPS: f64 = 1e-7;
 const FEAS_EPS: f64 = 1e-6;
 /// Iterations of Dantzig pivoting before switching to Bland's rule.
 const BLAND_AFTER: usize = 2_000;
+/// Entries whose magnitude falls to or below this during sparse row
+/// updates are dropped (numerical zeros would otherwise accumulate and
+/// densify the rows).
+const DROP_EPS: f64 = 1e-12;
+/// Minimum partial-pricing window: the cyclic Dantzig scan examines at
+/// least this many columns (and at least `cols / 8`) once a violating
+/// candidate has been found before committing to the best seen.
+const PRICE_BLOCK: usize = 64;
+
+/// A sparse tableau row: parallel `(column, value)` arrays sorted by
+/// column index, nonzeros only.
+#[derive(Debug, Clone, Default)]
+struct SpRow {
+    idx: Vec<u32>,
+    val: Vec<f64>,
+}
+
+impl SpRow {
+    fn with_capacity(cap: usize) -> SpRow {
+        SpRow {
+            idx: Vec::with_capacity(cap),
+            val: Vec::with_capacity(cap),
+        }
+    }
+
+    fn nnz(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Append an entry; columns must arrive in strictly increasing order.
+    fn push(&mut self, col: usize, v: f64) {
+        debug_assert!(self.idx.last().is_none_or(|&last| (last as usize) < col));
+        self.idx.push(col as u32);
+        self.val.push(v);
+    }
+
+    /// Value at `col` (0.0 when absent).
+    fn get(&self, col: usize) -> f64 {
+        match self.idx.binary_search(&(col as u32)) {
+            Ok(k) => self.val[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Overwrite the entry at `col`, inserting it if absent.
+    fn set(&mut self, col: usize, v: f64) {
+        match self.idx.binary_search(&(col as u32)) {
+            Ok(k) => self.val[k] = v,
+            Err(k) => {
+                self.idx.insert(k, col as u32);
+                self.val.insert(k, v);
+            }
+        }
+    }
+
+    /// Iterate `(column, value)` pairs in ascending column order.
+    fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.idx
+            .iter()
+            .zip(&self.val)
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    fn scale(&mut self, f: f64) {
+        for v in &mut self.val {
+            *v *= f;
+        }
+    }
+}
+
+/// `out = a + factor·b`, merging the two sorted sparse rows. Result
+/// entries whose magnitude falls to or below [`DROP_EPS`] are dropped.
+fn axpy_into(out: &mut SpRow, a: &SpRow, factor: f64, b: &SpRow) {
+    out.idx.clear();
+    out.val.clear();
+    let cap = a.nnz() + b.nnz();
+    out.idx.reserve(cap);
+    out.val.reserve(cap);
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.idx.len() && j < b.idx.len() {
+        match a.idx[i].cmp(&b.idx[j]) {
+            std::cmp::Ordering::Less => {
+                out.idx.push(a.idx[i]);
+                out.val.push(a.val[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                let v = factor * b.val[j];
+                if v.abs() > DROP_EPS {
+                    out.idx.push(b.idx[j]);
+                    out.val.push(v);
+                }
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let v = a.val[i] + factor * b.val[j];
+                if v.abs() > DROP_EPS {
+                    out.idx.push(a.idx[i]);
+                    out.val.push(v);
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    while i < a.idx.len() {
+        out.idx.push(a.idx[i]);
+        out.val.push(a.val[i]);
+        i += 1;
+    }
+    while j < b.idx.len() {
+        let v = factor * b.val[j];
+        if v.abs() > DROP_EPS {
+            out.idx.push(b.idx[j]);
+            out.val.push(v);
+        }
+        j += 1;
+    }
+}
 
 /// Solve a model's LP relaxation, with optional `(var, lb, ub)` bound
 /// overrides (used by branch & bound to impose branching bounds).
@@ -115,6 +253,59 @@ pub fn solve_lp_state(
     cold_solve(model, lb, ub)
 }
 
+/// Re-solve a *structurally identical* model from a previous epoch's
+/// optimal state: same constraint matrix (pattern, values, and senses),
+/// but the objective, right-hand sides, and variable bounds may all have
+/// moved. The retained tableau stays valid — its coefficients depend
+/// only on the matrix and the basis — so the solve retargets the basic
+/// values for the RHS delta through the logical-column block, re-applies
+/// the bounds, and repairs the previous optimal basis with a
+/// dual-simplex phase plus a primal clean-up pass.
+///
+/// Structure equality is the *caller's* contract (gate with
+/// [`crate::skeleton::ModelSkeleton::matches`]); only the dimensions are
+/// checked here. `Err(Infeasible)` can also mean the repair could not
+/// recover the basis (e.g. a frozen redundant row turned inconsistent),
+/// so callers should fall back to a cold solve rather than trust it as a
+/// certificate.
+pub fn solve_lp_epoch_warm(
+    model: &Model,
+    prev: &SimplexState,
+) -> Result<(Solution, SimplexState), SolveError> {
+    let _span = vb_telemetry::span!("solver.lp_solve");
+    vb_telemetry::counter!("solver.lp_solves").inc();
+
+    let n = model.vars.len();
+    if prev.n != n || prev.m != model.constraints.len() {
+        return Err(SolveError::BadModel(
+            "epoch warm start requires identical model dimensions".into(),
+        ));
+    }
+    let lb: Vec<f64> = model.vars.iter().map(|v| v.lb).collect();
+    let ub: Vec<f64> = model.vars.iter().map(|v| v.ub).collect();
+    for j in 0..n {
+        if lb[j] > ub[j] + EPS {
+            return Err(SolveError::Infeasible);
+        }
+        if !lb[j].is_finite() {
+            return Err(SolveError::BadModel(format!(
+                "variable {} must have a finite lower bound",
+                model.vars[j].name
+            )));
+        }
+    }
+
+    let mut st = prev.clone();
+    st.apply_rhs(model);
+    st.apply_bounds(&lb, &ub)?;
+    let c2 = st.phase2_costs(model);
+    let mut d = st.reduced_costs(&c2);
+    st.dual_iterate(&mut d, st.art_start)?;
+    st.iterate(&mut d, st.art_start)?;
+    let sol = st.extract(model);
+    Ok((sol, st))
+}
+
 /// Full two-phase bounded-variable solve from the logical basis.
 fn cold_solve(
     model: &Model,
@@ -134,7 +325,7 @@ fn cold_solve(
         st.iterate(&mut d, st.cols)?; // artificials may pivot in phase 1
         let infeas: f64 = (0..st.m)
             .filter(|&i| st.basis[i] >= st.art_start)
-            .map(|i| st.a[i][st.cols])
+            .map(|i| st.rhs[i])
             .sum();
         if infeas > FEAS_EPS {
             return Err(SolveError::Infeasible);
@@ -172,17 +363,25 @@ fn warm_solve(
     Ok((sol, st))
 }
 
-/// Dense bounded-variable simplex tableau, reusable as a warm-start
-/// basis by later solves of the same model under different bounds.
+/// Sparse bounded-variable simplex tableau, reusable as a warm-start
+/// basis by later solves of the same model under different bounds (and,
+/// via [`solve_lp_epoch_warm`], by later solves of structurally
+/// identical models under different objective/RHS/bounds).
 ///
 /// Columns are laid out `[structural | logical (one per row) |
-/// artificial]`; the extra last column of `a` holds the *current value*
-/// of each row's basic variable (not the textbook `B⁻¹b` — nonbasic
-/// variables at nonzero bounds are folded in).
+/// artificial]`; `rhs[i]` holds the *current value* of row `i`'s basic
+/// variable (not the textbook `B⁻¹b` — nonbasic variables at nonzero
+/// bounds are folded in), while `rhs_b` remembers the model RHS the
+/// state was built against so an epoch re-solve can retarget by delta.
 #[derive(Debug, Clone)]
 pub struct SimplexState {
-    /// `m × (cols + 1)`; `a[i][cols]` is the basic variable's value.
-    a: Vec<Vec<f64>>,
+    /// Sparse tableau rows over all `cols` columns.
+    rows: Vec<SpRow>,
+    /// Current value of each row's basic variable.
+    rhs: Vec<f64>,
+    /// Model right-hand side each row was built against (pre sign-flip),
+    /// used to retarget `rhs` when an epoch changes the model RHS.
+    rhs_b: Vec<f64>,
     /// Basic column per row.
     basis: Vec<usize>,
     /// Row index per column (`usize::MAX` when nonbasic).
@@ -201,6 +400,10 @@ pub struct SimplexState {
     cols: usize,
     /// First artificial column (== `cols` when phase 1 was not needed).
     art_start: usize,
+    /// Partial-pricing cursor: where the next cyclic Dantzig scan starts.
+    price_pos: usize,
+    /// Scratch row for the sparse axpy merge (allocation reuse only).
+    scratch: SpRow,
 }
 
 /// Outcome of the primal ratio test.
@@ -225,11 +428,14 @@ impl SimplexState {
         let m = model.constraints.len();
 
         // Residual of each row with all structurals at their lower bound.
+        let mut nnz = 0usize;
         let mut resid = Vec::with_capacity(m);
         for c in &model.constraints {
-            let dot: f64 = c.coefs.iter().zip(&lb).map(|(a, l)| a * l).sum();
+            nnz += c.coefs.len();
+            let dot: f64 = c.coefs.iter().map(|&(v, a)| a * lb[v.0]).sum();
             resid.push(c.rhs - dot);
         }
+        vb_telemetry::histogram!("solver.nnz").observe(nnz as f64);
         let needs_art: Vec<bool> = model
             .constraints
             .iter()
@@ -265,34 +471,40 @@ impl SimplexState {
         lb.resize(cols, 0.0);
         ub.resize(cols, f64::INFINITY);
 
-        let mut a = vec![vec![0.0; cols + 1]; m];
+        let mut rows = Vec::with_capacity(m);
+        let mut rhs = vec![0.0; m];
+        let mut rhs_b = Vec::with_capacity(m);
         let mut basis = vec![usize::MAX; m];
         let mut at_upper = vec![false; cols];
         let mut next_art = art_start;
         for (i, c) in model.constraints.iter().enumerate() {
-            // Constraints created before later variables were added
-            // carry shorter coefficient vectors; the tail is zero.
-            a[i][..c.coefs.len().min(n)].copy_from_slice(&c.coefs[..c.coefs.len().min(n)]);
-            a[i][n + i] = 1.0; // logical
+            // Canonical constraint coefs are sorted by variable id and
+            // all < n, so appending the logical (and artificial) keeps
+            // the row sorted.
+            let mut row = SpRow::with_capacity(c.coefs.len() + 2);
+            for &(v, a) in &c.coefs {
+                row.push(v.0, a);
+            }
+            row.push(n + i, 1.0); // logical
+            rhs_b.push(c.rhs);
             if needs_art[i] {
                 let sigma = if resid[i] >= 0.0 { 1.0 } else { -1.0 };
-                a[i][next_art] = sigma;
+                if sigma < 0.0 {
+                    // Normalise so the basic (artificial) column is +1.
+                    row.scale(-1.0);
+                }
+                row.push(next_art, 1.0);
                 basis[i] = next_art;
                 next_art += 1;
-                if sigma < 0.0 {
-                    // Normalise so the basic column is +1.
-                    for v in a[i].iter_mut().take(cols) {
-                        *v = -*v;
-                    }
-                }
-                a[i][cols] = resid[i].abs();
+                rhs[i] = resid[i].abs();
                 // The row's own logical stays nonbasic at 0: that is the
                 // upper bound for `≥` logicals, the lower bound otherwise.
                 at_upper[n + i] = matches!(c.cmp, Cmp::Ge);
             } else {
                 basis[i] = n + i;
-                a[i][cols] = resid[i];
+                rhs[i] = resid[i];
             }
+            rows.push(row);
         }
 
         let mut basis_pos = vec![usize::MAX; cols];
@@ -300,7 +512,9 @@ impl SimplexState {
             basis_pos[b] = i;
         }
         SimplexState {
-            a,
+            rows,
+            rhs,
+            rhs_b,
             basis,
             basis_pos,
             at_upper,
@@ -310,6 +524,8 @@ impl SimplexState {
             m,
             cols,
             art_start,
+            price_pos: 0,
+            scratch: SpRow::default(),
         }
     }
 
@@ -332,8 +548,8 @@ impl SimplexState {
         for i in 0..self.m {
             let cb = c[self.basis[i]];
             if cb != 0.0 {
-                for (dj, aij) in d.iter_mut().zip(&self.a[i]) {
-                    *dj -= cb * aij;
+                for (j, aij) in self.rows[i].iter() {
+                    d[j] -= cb * aij;
                 }
             }
         }
@@ -347,6 +563,12 @@ impl SimplexState {
         } else {
             self.lb[j]
         }
+    }
+
+    /// Extract a full tableau column into a dense scratch vector.
+    fn column_into(&self, col: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.m).map(|i| self.rows[i].get(col)));
     }
 
     /// Retarget structural bounds (warm start). Nonbasic structurals are
@@ -377,8 +599,10 @@ impl SimplexState {
                 let delta = new - old;
                 if delta != 0.0 {
                     for i in 0..self.m {
-                        let shift = self.a[i][j] * delta;
-                        self.a[i][self.cols] -= shift;
+                        let aij = self.rows[i].get(j);
+                        if aij != 0.0 {
+                            self.rhs[i] -= aij * delta;
+                        }
                     }
                 }
                 self.at_upper[j] = up;
@@ -389,6 +613,39 @@ impl SimplexState {
         Ok(())
     }
 
+    /// Retarget the basic values for a model-RHS change (epoch warm
+    /// start). The tableau `T = B⁻¹A₀` depends only on the constraint
+    /// matrix and the basis, and the logical-column block of `T` *is*
+    /// the row basis inverse (build-time sign flips cancel against the
+    /// flipped initial logical identity), so a RHS move `Δb` shifts each
+    /// basic value by `Σ_k T[i][n+k]·Δb_k`.
+    fn apply_rhs(&mut self, model: &Model) {
+        let mut delta = vec![0.0; self.m];
+        let mut any = false;
+        for (k, c) in model.constraints.iter().enumerate() {
+            let d = c.rhs - self.rhs_b[k];
+            if d != 0.0 {
+                delta[k] = d;
+                self.rhs_b[k] = c.rhs;
+                any = true;
+            }
+        }
+        if !any {
+            return;
+        }
+        for i in 0..self.m {
+            // Only the logical block [n, n+m) contributes.
+            let row = &self.rows[i];
+            let lo = row.idx.partition_point(|&c| (c as usize) < self.n);
+            let hi = row.idx.partition_point(|&c| (c as usize) < self.n + self.m);
+            let mut shift = 0.0;
+            for k in lo..hi {
+                shift += row.val[k] * delta[row.idx[k] as usize - self.n];
+            }
+            self.rhs[i] += shift;
+        }
+    }
+
     /// Primal bounded-variable simplex on reduced costs `d` until no
     /// nonbasic column priced below `col_limit` can improve. Bound flips
     /// and pivots both count toward the iteration cap.
@@ -397,23 +654,25 @@ impl SimplexState {
         let mut pivots = 0u64;
         let mut flips = 0u64;
         let mut degenerate = 0u64;
+        let mut scanned = 0u64;
         let result = (|| {
+            let mut ecol = vec![0.0; self.m];
             for iter in 0..max_iter {
                 let bland = iter >= BLAND_AFTER;
-                let Some(enter) = self.choose_entering(d, col_limit, bland) else {
+                let Some(enter) = self.choose_entering(d, col_limit, bland, &mut scanned) else {
                     return Ok(());
                 };
                 // Direction the entering variable moves: up from its
                 // lower bound, down from its upper bound.
                 let dir = if self.at_upper[enter] { -1.0 } else { 1.0 };
-                match self.ratio_test(enter, dir) {
+                self.column_into(enter, &mut ecol);
+                match self.ratio_test(enter, dir, &ecol) {
                     Step::Unbounded => return Err(SolveError::Unbounded),
                     Step::Flip => {
                         let span = self.ub[enter] - self.lb[enter];
                         let delta = dir * span;
-                        for i in 0..self.m {
-                            let shift = self.a[i][enter] * delta;
-                            self.a[i][self.cols] -= shift;
+                        for (r, &e) in self.rhs.iter_mut().zip(&ecol) {
+                            *r -= e * delta;
                         }
                         self.at_upper[enter] = !self.at_upper[enter];
                         flips += 1;
@@ -423,10 +682,10 @@ impl SimplexState {
                         target,
                         leave_at_upper,
                     } => {
-                        if (self.a[row][self.cols] - target).abs() <= EPS {
+                        if (self.rhs[row] - target).abs() <= EPS {
                             degenerate += 1;
                         }
-                        self.pivot_to(row, enter, target, leave_at_upper, d);
+                        self.pivot_to(row, enter, target, leave_at_upper, d, &ecol);
                         pivots += 1;
                     }
                 }
@@ -434,6 +693,7 @@ impl SimplexState {
             Err(SolveError::IterationLimit)
         })();
         vb_telemetry::counter!("solver.pivots").add(pivots);
+        vb_telemetry::counter!("solver.pricing_cols_scanned").add(scanned);
         if flips > 0 {
             vb_telemetry::counter!("solver.bound_flips").add(flips);
         }
@@ -443,40 +703,79 @@ impl SimplexState {
         result
     }
 
-    /// Entering column: largest reduced-cost violation (Dantzig) or
-    /// lowest-index violation (Bland). A nonbasic column at its lower
-    /// bound wants `d < 0`; one at its upper bound wants `d > 0`.
-    fn choose_entering(&self, d: &[f64], col_limit: usize, bland: bool) -> Option<usize> {
-        let mut best = None;
-        let mut best_score = COST_EPS;
-        for (j, &dj) in d.iter().enumerate().take(col_limit) {
-            if self.basis_pos[j] != usize::MAX || self.ub[j] - self.lb[j] <= EPS {
-                continue; // basic or fixed
-            }
-            let score = if self.at_upper[j] { dj } else { -dj };
-            if score > best_score {
-                if bland {
+    /// Entering column. Dantzig mode prices a cyclic candidate block: a
+    /// scan starting at the persisted `price_pos` cursor that keeps the
+    /// best reduced-cost violation and stops once a candidate exists and
+    /// at least the block width has been examined (a full lap finding
+    /// nothing proves optimality). Bland mode does the classic full
+    /// lowest-index scan for anti-cycling. A nonbasic column at its
+    /// lower bound wants `d < 0`; one at its upper bound wants `d > 0`.
+    /// `scanned` accumulates examined columns for pricing telemetry.
+    fn choose_entering(
+        &mut self,
+        d: &[f64],
+        col_limit: usize,
+        bland: bool,
+        scanned: &mut u64,
+    ) -> Option<usize> {
+        if bland {
+            for (j, &dj) in d.iter().enumerate().take(col_limit) {
+                if self.basis_pos[j] != usize::MAX || self.ub[j] - self.lb[j] <= EPS {
+                    continue; // basic or fixed
+                }
+                *scanned += 1;
+                let score = if self.at_upper[j] { dj } else { -dj };
+                if score > COST_EPS {
                     return Some(j);
                 }
-                best_score = score;
-                best = Some(j);
+            }
+            return None;
+        }
+        if col_limit == 0 {
+            return None;
+        }
+        let block = PRICE_BLOCK.max(col_limit / 8);
+        let mut j = if self.price_pos < col_limit {
+            self.price_pos
+        } else {
+            0
+        };
+        let mut best = None;
+        let mut best_score = COST_EPS;
+        for step in 0..col_limit {
+            *scanned += 1;
+            if self.basis_pos[j] == usize::MAX && self.ub[j] - self.lb[j] > EPS {
+                let score = if self.at_upper[j] { d[j] } else { -d[j] };
+                if score > best_score {
+                    best_score = score;
+                    best = Some(j);
+                }
+            }
+            j += 1;
+            if j == col_limit {
+                j = 0;
+            }
+            if best.is_some() && step + 1 >= block {
+                break;
             }
         }
+        self.price_pos = j;
         best
     }
 
-    /// Bounded ratio test for `enter` moving in direction `dir`: the
-    /// tightest of (a) each basic variable hitting a bound and (b) the
-    /// entering variable reaching its opposite bound. Ties between rows
-    /// break on the smallest basic column index.
-    fn ratio_test(&self, enter: usize, dir: f64) -> Step {
+    /// Bounded ratio test for `enter` moving in direction `dir` (its
+    /// tableau column pre-extracted into `ecol`): the tightest of (a)
+    /// each basic variable hitting a bound and (b) the entering variable
+    /// reaching its opposite bound. Ties between rows break on the
+    /// smallest basic column index.
+    fn ratio_test(&self, enter: usize, dir: f64, ecol: &[f64]) -> Step {
         let span = self.ub[enter] - self.lb[enter]; // may be ∞
         let mut best_step = span;
         let mut best: Option<(usize, f64, bool)> = None; // (row, target, at_upper)
-        for i in 0..self.m {
-            let rate = dir * self.a[i][enter];
+        for (i, &e) in ecol.iter().enumerate() {
+            let rate = dir * e;
             let b = self.basis[i];
-            let value = self.a[i][self.cols];
+            let value = self.rhs[i];
             // Moving `enter` by +step changes this basic by −rate·step.
             let (limit, target, leave_at_upper) = if rate > EPS {
                 if self.lb[b].is_finite() {
@@ -525,12 +824,13 @@ impl SimplexState {
         let max_iter = 20_000 + 100 * (self.m + self.cols);
         let mut pivots = 0u64;
         let result = (|| {
+            let mut ecol = vec![0.0; self.m];
             for _ in 0..max_iter {
                 // Leaving row: the largest bound violation.
                 let mut leave: Option<(usize, f64, bool)> = None; // (row, viol, below)
                 for i in 0..self.m {
                     let b = self.basis[i];
-                    let v = self.a[i][self.cols];
+                    let v = self.rhs[i];
                     let (viol, below) = if v < self.lb[b] - FEAS_EPS {
                         (self.lb[b] - v, true)
                     } else if v > self.ub[b] + FEAS_EPS {
@@ -548,15 +848,19 @@ impl SimplexState {
                 let b = self.basis[row];
                 let target = if below { self.lb[b] } else { self.ub[b] };
 
-                // Entering column by the dual ratio test. Eligibility:
-                // the column must be able to move the leaving basic
-                // toward its bound given which side it sits on.
+                // Entering column by the dual ratio test, scanning only
+                // the leaving row's nonzeros (sorted, so stop at the
+                // column limit). Eligibility: the column must be able to
+                // move the leaving basic toward its bound given which
+                // side it sits on.
                 let mut enter: Option<(usize, f64)> = None;
-                for (j, &dj) in d.iter().enumerate().take(col_limit) {
+                for (j, alpha) in self.rows[row].iter() {
+                    if j >= col_limit {
+                        break;
+                    }
                     if self.basis_pos[j] != usize::MAX || self.ub[j] - self.lb[j] <= EPS {
                         continue;
                     }
-                    let alpha = self.a[row][j];
                     if alpha.abs() <= EPS {
                         continue;
                     }
@@ -570,7 +874,7 @@ impl SimplexState {
                     if !eligible {
                         continue;
                     }
-                    let ratio = (dj / alpha).abs();
+                    let ratio = (d[j] / alpha).abs();
                     if enter.is_none_or(|(_, r)| ratio < r - EPS) {
                         enter = Some((j, ratio));
                     }
@@ -578,7 +882,8 @@ impl SimplexState {
                 let Some((col, _)) = enter else {
                     return Err(SolveError::Infeasible);
                 };
-                self.pivot_to(row, col, target, !below, d);
+                self.column_into(col, &mut ecol);
+                self.pivot_to(row, col, target, !below, d, &ecol);
                 pivots += 1;
             }
             Err(SolveError::IterationLimit)
@@ -591,10 +896,11 @@ impl SimplexState {
     }
 
     /// Pivot `col` into the basis at `row`, sending the leaving variable
-    /// to `target` (its lower bound when `leave_at_upper` is false). The
-    /// rhs column is updated from the entering variable's travel, then
-    /// the coefficient columns are eliminated Gauss–Jordan style and the
-    /// reduced-cost row follows.
+    /// to `target` (its lower bound when `leave_at_upper` is false).
+    /// `ecol` is the entering column pre-extracted by the caller. The
+    /// rhs is updated from the entering variable's travel, then the
+    /// sparse rows are eliminated Gauss–Jordan style — touching only the
+    /// pivot row's nonzero columns — and the reduced-cost row follows.
     fn pivot_to(
         &mut self,
         row: usize,
@@ -602,17 +908,17 @@ impl SimplexState {
         target: f64,
         leave_at_upper: bool,
         d: &mut [f64],
+        ecol: &[f64],
     ) {
-        let alpha = self.a[row][col];
+        let alpha = ecol[row];
         debug_assert!(alpha.abs() > EPS);
-        let delta = (self.a[row][self.cols] - target) / alpha;
+        let delta = (self.rhs[row] - target) / alpha;
         let entering_value = self.nonbasic_value(col) + delta;
 
         // New basic values.
-        for i in 0..self.m {
+        for (i, (r, &e)) in self.rhs.iter_mut().zip(ecol).enumerate() {
             if i != row {
-                let shift = self.a[i][col] * delta;
-                self.a[i][self.cols] -= shift;
+                *r -= e * delta;
             }
         }
 
@@ -624,29 +930,32 @@ impl SimplexState {
         self.basis_pos[col] = row;
 
         // Eliminate the entering column (coefficients only; the rhs is
-        // maintained explicitly above).
+        // maintained explicitly above). The pivot row is scaled once and
+        // each other row with a nonzero entering entry gets one sparse
+        // axpy merge.
         let inv = 1.0 / alpha;
-        for v in self.a[row].iter_mut().take(self.cols) {
-            *v *= inv;
-        }
-        let pivot_row = self.a[row][..self.cols].to_vec();
-        for i in 0..self.m {
-            if i != row {
-                let factor = self.a[i][col];
-                if factor.abs() > EPS {
-                    for (v, p) in self.a[i].iter_mut().zip(&pivot_row) {
-                        *v -= factor * p;
-                    }
-                }
+        let mut prow = std::mem::take(&mut self.rows[row]);
+        prow.scale(inv);
+        prow.set(col, 1.0); // exact, so eliminated entries cancel to 0
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for (i, &factor) in ecol.iter().enumerate() {
+            if i == row {
+                continue;
+            }
+            if factor.abs() > EPS {
+                axpy_into(&mut scratch, &self.rows[i], -factor, &prow);
+                std::mem::swap(&mut self.rows[i], &mut scratch);
             }
         }
+        self.scratch = scratch;
         let factor = d[col];
         if factor.abs() > EPS {
-            for (v, p) in d.iter_mut().zip(&pivot_row) {
-                *v -= factor * p;
+            for (j, p) in prow.iter() {
+                d[j] -= factor * p;
             }
         }
-        self.a[row][self.cols] = entering_value;
+        self.rows[row] = prow;
+        self.rhs[row] = entering_value;
     }
 
     /// After phase 1: pivot basic artificials (at value 0) out where a
@@ -654,12 +963,16 @@ impl SimplexState {
     /// freeze every artificial at `[0, 0]` so phase 2 and later warm
     /// starts can never move one again.
     fn expel_and_freeze_artificials(&mut self, d: &mut [f64]) {
+        let mut ecol = vec![0.0; self.m];
         for i in 0..self.m {
             if self.basis[i] >= self.art_start {
-                if let Some(col) = (0..self.art_start)
-                    .find(|&j| self.basis_pos[j] == usize::MAX && self.a[i][j].abs() > 1e-7)
-                {
-                    self.pivot_to(i, col, 0.0, false, d);
+                let col = self.rows[i].iter().find_map(|(j, v)| {
+                    (j < self.art_start && self.basis_pos[j] == usize::MAX && v.abs() > 1e-7)
+                        .then_some(j)
+                });
+                if let Some(col) = col {
+                    self.column_into(col, &mut ecol);
+                    self.pivot_to(i, col, 0.0, false, d, &ecol);
                 }
             }
         }
@@ -674,7 +987,7 @@ impl SimplexState {
         let mut x = vec![0.0; self.n];
         for (j, xj) in x.iter_mut().enumerate() {
             *xj = if self.basis_pos[j] != usize::MAX {
-                self.a[self.basis_pos[j]][self.cols]
+                self.rhs[self.basis_pos[j]]
             } else {
                 self.nonbasic_value(j)
             };
@@ -876,6 +1189,29 @@ mod tests {
     }
 
     #[test]
+    fn sparse_rows_stay_sparse_across_pivots() {
+        // A block-diagonal model: rows touch disjoint variable pairs, so
+        // no amount of pivoting should densify the tableau.
+        let mut m = Model::new(Sense::Maximize);
+        let mut obj = LinExpr::zero();
+        for k in 0..20 {
+            let x = m.var(&format!("x{k}"), 0.0, f64::INFINITY);
+            let y = m.var(&format!("y{k}"), 0.0, f64::INFINITY);
+            let e = m.expr(&[(x, 1.0), (y, 2.0)]);
+            m.add_le(e, 4.0);
+            obj = obj.add_term(x, 1.0).add_term(y, 1.0 + (k % 3) as f64);
+        }
+        m.set_objective(obj);
+        let (sol, st) = solve_lp_state(&m, &[], None).unwrap();
+        assert!(sol.objective.is_finite());
+        let max_nnz = st.rows.iter().map(|r| r.nnz()).max().unwrap();
+        assert!(
+            max_nnz <= 3,
+            "block-diagonal rows densified: max nnz {max_nnz}"
+        );
+    }
+
+    #[test]
     fn warm_start_reoptimizes_after_bound_change() {
         // max x + y s.t. x + y <= 3, x,y in [0, 2]: optimum 3. Then
         // branch-style: force x <= 1 -> optimum 3 still (y=2, x=1);
@@ -974,5 +1310,97 @@ mod tests {
         m.set_objective(e);
         let s = m.solve().unwrap();
         assert!(s.objective.abs() < 1e-6);
+    }
+
+    /// The classic product-mix LP with a parameterised RHS — the same
+    /// structure every "epoch", only `b` moves.
+    fn epoch_model(b: [f64; 3]) -> (Model, [VarId; 2]) {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.var("x", 0.0, f64::INFINITY);
+        let y = m.var("y", 0.0, f64::INFINITY);
+        let e = m.expr(&[(x, 1.0)]);
+        m.add_le(e, b[0]);
+        let e = m.expr(&[(y, 2.0)]);
+        m.add_le(e, b[1]);
+        let e = m.expr(&[(x, 3.0), (y, 2.0)]);
+        m.add_le(e, b[2]);
+        let obj = m.expr(&[(x, 3.0), (y, 5.0)]);
+        m.set_objective(obj);
+        (m, [x, y])
+    }
+
+    #[test]
+    fn epoch_warm_start_matches_cold_on_rhs_changes() {
+        let (base, _) = epoch_model([4.0, 12.0, 18.0]);
+        let (_, mut st) = solve_lp_state(&base, &[], None).unwrap();
+        for b in [
+            [5.0, 10.0, 20.0],
+            [3.0, 14.0, 15.0],
+            [6.0, 8.0, 18.0],
+            [4.0, 12.0, 18.0],
+        ] {
+            let (next, vars) = epoch_model(b);
+            let (warm, st2) = solve_lp_epoch_warm(&next, &st).unwrap();
+            let cold = solve_lp(&next, &[]).unwrap();
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-6,
+                "b {b:?}: warm {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+            for v in vars {
+                assert!(
+                    (warm.value(v) - cold.value(v)).abs() < 1e-6,
+                    "b {b:?}: vertex diverged on {v:?}"
+                );
+            }
+            st = st2;
+        }
+    }
+
+    #[test]
+    fn epoch_warm_start_handles_ge_rows_and_objective_changes() {
+        // min c·(x, y) s.t. x + y >= b — phase 1 ran on the base solve
+        // (sign-flipped artificial row), and later epochs move both the
+        // RHS and the objective.
+        let build = |b: f64, cx: f64, cy: f64| {
+            let mut m = Model::new(Sense::Minimize);
+            let x = m.var("x", 0.0, f64::INFINITY);
+            let y = m.var("y", 0.0, f64::INFINITY);
+            let e = m.expr(&[(x, 1.0), (y, 1.0)]);
+            m.add_ge(e, b);
+            let obj = m.expr(&[(x, cx), (y, cy)]);
+            m.set_objective(obj);
+            m
+        };
+        let (_, mut st) = solve_lp_state(&build(10.0, 2.0, 3.0), &[], None).unwrap();
+        for (b, cx, cy) in [(13.0, 2.0, 3.0), (7.0, 4.0, 1.0), (9.0, 1.0, 1.0)] {
+            let next = build(b, cx, cy);
+            let (warm, st2) = solve_lp_epoch_warm(&next, &st).unwrap();
+            let cold = solve_lp(&next, &[]).unwrap();
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-6,
+                "(b={b}, c=({cx},{cy})): warm {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+            st = st2;
+        }
+    }
+
+    #[test]
+    fn epoch_warm_start_rejects_dimension_mismatch() {
+        let (base, _) = epoch_model([4.0, 12.0, 18.0]);
+        let (_, st) = solve_lp_state(&base, &[], None).unwrap();
+        let mut other = Model::new(Sense::Maximize);
+        let x = other.var("x", 0.0, 10.0);
+        let e = other.expr(&[(x, 1.0)]);
+        other.add_le(e, 5.0);
+        let obj = other.expr(&[(x, 1.0)]);
+        other.set_objective(obj);
+        assert!(matches!(
+            solve_lp_epoch_warm(&other, &st).unwrap_err(),
+            SolveError::BadModel(_)
+        ));
     }
 }

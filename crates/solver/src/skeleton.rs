@@ -1,0 +1,174 @@
+//! Structural fingerprint of a [`Model`] for cross-epoch state reuse.
+//!
+//! The MIP co-scheduler re-plans a structurally identical model every
+//! epoch: same sites × apps × horizon buckets, hence the same constraint
+//! matrix, senses, and integrality — only the objective, right-hand
+//! sides, and variable bounds move with the forecasts. A retained
+//! [`crate::simplex::SimplexState`] stays valid under exactly those
+//! changes (the tableau depends only on the matrix and the basis), so
+//! [`ModelSkeleton`] captures everything that must *not* change and
+//! [`ModelSkeleton::matches`] gates the warm path: any structural drift
+//! — a row added, a coefficient moved, a variable flipped to integer —
+//! is a miss and the caller falls back to a cold solve.
+
+use crate::model::{Cmp, Model, Sense};
+
+/// The epoch-invariant structure of a model: dimensions, optimization
+/// sense, integrality mask, constraint senses, and the constraint matrix
+/// in CSR form (sorted column indices and exact coefficient values).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSkeleton {
+    sense: Sense,
+    n_vars: usize,
+    integer: Vec<bool>,
+    cmps: Vec<Cmp>,
+    /// CSR row pointers: row `i` owns `col_idx[row_ptr[i]..row_ptr[i+1]]`.
+    row_ptr: Vec<u32>,
+    /// Column index per nonzero, sorted within each row.
+    col_idx: Vec<u32>,
+    /// Coefficient per nonzero.
+    vals: Vec<f64>,
+}
+
+impl ModelSkeleton {
+    /// Capture the structural fingerprint of `model`.
+    pub fn of(model: &Model) -> ModelSkeleton {
+        let mut row_ptr = Vec::with_capacity(model.constraints.len() + 1);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0u32);
+        for c in &model.constraints {
+            for &(v, a) in &c.coefs {
+                col_idx.push(v.0 as u32);
+                vals.push(a);
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+        ModelSkeleton {
+            sense: model.sense,
+            n_vars: model.vars.len(),
+            integer: model.vars.iter().map(|v| v.integer).collect(),
+            cmps: model.constraints.iter().map(|c| c.cmp).collect(),
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Whether `model` has exactly this structure — same dimensions,
+    /// sense, integrality, constraint senses, and constraint matrix
+    /// (pattern *and* values, compared exactly: a coefficient that moved
+    /// at all invalidates the retained tableau). RHS, objective, and
+    /// variable bounds are deliberately not compared; those may change
+    /// between epochs.
+    pub fn matches(&self, model: &Model) -> bool {
+        if self.sense != model.sense
+            || self.n_vars != model.vars.len()
+            || self.cmps.len() != model.constraints.len()
+        {
+            return false;
+        }
+        if model
+            .vars
+            .iter()
+            .zip(&self.integer)
+            .any(|(v, &int)| v.integer != int)
+        {
+            return false;
+        }
+        for (i, c) in model.constraints.iter().enumerate() {
+            if c.cmp != self.cmps[i] {
+                return false;
+            }
+            let (lo, hi) = (self.row_ptr[i] as usize, self.row_ptr[i + 1] as usize);
+            if c.coefs.len() != hi - lo {
+                return false;
+            }
+            for (k, &(v, a)) in c.coefs.iter().enumerate() {
+                // Exact equality on purpose (NaN never matches, which is
+                // the safe direction: a cold solve).
+                if self.col_idx[lo + k] != v.0 as u32 || self.vals[lo + k] != a {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Number of constraint rows.
+    pub fn num_rows(&self) -> usize {
+        self.cmps.len()
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Nonzero count of the constraint matrix.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Sense;
+
+    fn placement_like() -> Model {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.bin_var("x");
+        let y = m.bin_var("y");
+        let d = m.var("d", 0.0, f64::INFINITY);
+        let e = m.expr(&[(x, 1.0), (y, 1.0)]);
+        m.add_eq(e, 1.0);
+        let e = m.expr(&[(d, 1.0), (x, -4.0)]);
+        m.add_ge(e, -2.0);
+        let obj = m.expr(&[(x, 3.0), (y, 5.0), (d, 1.0)]);
+        m.set_objective(obj);
+        m
+    }
+
+    #[test]
+    fn matches_itself_and_rhs_or_objective_changes() {
+        let m = placement_like();
+        let sk = ModelSkeleton::of(&m);
+        assert!(sk.matches(&m));
+        assert_eq!(sk.num_rows(), 2);
+        assert_eq!(sk.num_vars(), 3);
+        assert_eq!(sk.nnz(), 4);
+
+        // RHS and objective changes keep the skeleton valid.
+        let mut m2 = placement_like();
+        m2.constraints[1].rhs = -7.5;
+        m2.objective[0].1 = 9.0;
+        assert!(sk.matches(&m2));
+    }
+
+    #[test]
+    fn structural_drift_is_a_miss() {
+        let sk = ModelSkeleton::of(&placement_like());
+
+        // A moved coefficient.
+        let mut m = placement_like();
+        m.constraints[1].coefs[1].1 = -5.0;
+        assert!(!sk.matches(&m));
+
+        // A different constraint sense.
+        let mut m = placement_like();
+        m.constraints[0].cmp = Cmp::Le;
+        assert!(!sk.matches(&m));
+
+        // An extra row.
+        let mut m = placement_like();
+        let e = m.expr(&[]);
+        m.add_le(e, 1.0);
+        assert!(!sk.matches(&m));
+
+        // An extra variable.
+        let mut m = placement_like();
+        m.var("extra", 0.0, 1.0);
+        assert!(!sk.matches(&m));
+    }
+}

@@ -1,0 +1,268 @@
+//! Property-based differential tests against the row-expansion oracle
+//! ([`vb_solver::dense::solve_lp_reference`]):
+//!
+//! 1. random *sparse* bounded LPs — the CSR production simplex and the
+//!    dense oracle agree on status and objective, including expressions
+//!    with duplicate terms (the canonicalization path);
+//! 2. Table-1-shaped placement MIP relaxations, at the root and under
+//!    branch-style bound overrides warm-started from the root basis;
+//! 3. cross-epoch reuse — re-solving a structurally identical model
+//!    with perturbed RHS/objective/bounds through
+//!    [`vb_solver::simplex::solve_lp_epoch_warm`] must agree with a
+//!    cold solve of the perturbed model whenever the repair succeeds
+//!    (a failed repair is allowed: callers fall back to a cold root).
+
+use proptest::prelude::*;
+use vb_solver::dense::solve_lp_reference;
+use vb_solver::simplex::{solve_lp, solve_lp_epoch_warm, solve_lp_state};
+use vb_solver::{Model, Sense, Solution, SolveError, VarId};
+
+const TOL: f64 = 1e-6;
+
+/// Declarative spec of a random sparse bounded LP. Per row entry:
+/// `(keep, coef)` — the term is present iff `keep < 4` and `coef != 0`
+/// (≈ 1/3 density), and `keep < 2` splits it into two half-coefficient
+/// duplicates so expression canonicalization is on the differential
+/// path too.
+/// `(entries, cmp selector, rhs)` for one constraint row.
+type RowSpec = (Vec<(u32, i32)>, u32, i32);
+
+#[derive(Debug, Clone)]
+struct SparseLp {
+    maximize: bool,
+    /// `(lb, width)` per variable; the box is `[lb, lb + width]`.
+    bounds: Vec<(i32, i32)>,
+    rows: Vec<RowSpec>,
+    obj: Vec<i32>,
+}
+
+fn sparse_lp(n: usize, m_rows: usize) -> impl Strategy<Value = SparseLp> {
+    (
+        any::<bool>(),
+        proptest::collection::vec((-3..=0i32, 0..=4i32), n),
+        proptest::collection::vec(
+            (
+                proptest::collection::vec((0..10u32, -3..=3i32), n),
+                0..3u32,
+                -6..=10i32,
+            ),
+            m_rows,
+        ),
+        proptest::collection::vec(-5..=5i32, n),
+    )
+        .prop_map(|(maximize, bounds, rows, obj)| SparseLp {
+            maximize,
+            bounds,
+            rows,
+            obj,
+        })
+}
+
+/// Materialize the spec, with per-row RHS shifts, a uniform objective
+/// shift, and per-variable upper-bound shifts (all zero for the base
+/// model). The constraint *structure* depends only on the spec, so any
+/// two builds of the same spec are epoch-compatible.
+fn build(lp: &SparseLp, rhs_shift: &[i32], obj_shift: i32, ub_shift: &[i32]) -> Model {
+    let sense = if lp.maximize {
+        Sense::Maximize
+    } else {
+        Sense::Minimize
+    };
+    let mut m = Model::new(sense);
+    let vars: Vec<VarId> = lp
+        .bounds
+        .iter()
+        .enumerate()
+        .map(|(j, &(lb, w))| {
+            let shift = ub_shift.get(j).copied().unwrap_or(0);
+            // Shrinks clamp at the lower bound so the box stays valid.
+            let ub = (lb + w + shift).max(lb);
+            m.var(&format!("x{j}"), lb as f64, ub as f64)
+        })
+        .collect();
+    for (r, (entries, cmp, rhs)) in lp.rows.iter().enumerate() {
+        let mut terms = Vec::new();
+        for (j, &(keep, c)) in entries.iter().enumerate() {
+            if keep >= 4 || c == 0 {
+                continue;
+            }
+            if keep < 2 {
+                terms.push((vars[j], c as f64 * 0.5));
+                terms.push((vars[j], c as f64 * 0.5));
+            } else {
+                terms.push((vars[j], c as f64));
+            }
+        }
+        if terms.is_empty() {
+            continue;
+        }
+        let e = m.expr(&terms);
+        let rhs = (rhs + rhs_shift.get(r).copied().unwrap_or(0)) as f64;
+        match cmp {
+            0 => m.add_le(e, rhs),
+            1 => m.add_ge(e, rhs),
+            // Loose third arm keeps feasible instances common.
+            _ => m.add_le(e, rhs.abs() + 4.0),
+        }
+    }
+    let obj: Vec<(VarId, f64)> = vars
+        .iter()
+        .zip(&lp.obj)
+        .map(|(&v, &c)| (v, (c + obj_shift) as f64))
+        .collect();
+    let e = m.expr(&obj);
+    m.set_objective(e);
+    m
+}
+
+fn assert_agree(new: &Result<Solution, SolveError>, oracle: &Result<Solution, SolveError>) {
+    match (new, oracle) {
+        (Ok(a), Ok(b)) => assert!(
+            (a.objective - b.objective).abs() < TOL,
+            "objectives diverge: sparse {} vs oracle {}",
+            a.objective,
+            b.objective
+        ),
+        (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
+        (Err(SolveError::Unbounded), Err(SolveError::Unbounded)) => {}
+        (a, b) => panic!("status diverges: sparse {a:?} vs oracle {b:?}"),
+    }
+}
+
+/// A Table-1-shaped placement model: `apps × sites` binaries with
+/// one-site-per-app rows, per-(site, bucket) displacement variables,
+/// displacement + per-placement costs.
+#[derive(Debug, Clone)]
+struct PlacementSpec {
+    /// Core demand selector per app (scaled ×20).
+    cores: Vec<u32>,
+    /// Tight/loose capacity selector per (site, bucket).
+    frac: Vec<u32>,
+    /// Per-placement cost selector, row-major apps × sites.
+    costs: Vec<u32>,
+}
+
+const SITES: usize = 3;
+const BUCKETS: usize = 2;
+
+fn placement_spec(apps: usize) -> impl Strategy<Value = PlacementSpec> {
+    (
+        proptest::collection::vec(1..=4u32, apps),
+        proptest::collection::vec(0..4u32, SITES * BUCKETS),
+        proptest::collection::vec(0..6u32, apps * SITES),
+    )
+        .prop_map(|(cores, frac, costs)| PlacementSpec { cores, frac, costs })
+}
+
+fn build_placement(spec: &PlacementSpec) -> (Model, Vec<VarId>) {
+    let apps = spec.cores.len();
+    let mut m = Model::new(Sense::Minimize);
+    let x: Vec<Vec<VarId>> = (0..apps)
+        .map(|a| {
+            (0..SITES)
+                .map(|s| m.bin_var(&format!("a{a}s{s}")))
+                .collect()
+        })
+        .collect();
+    for row in &x {
+        let terms: Vec<(VarId, f64)> = row.iter().map(|&v| (v, 1.0)).collect();
+        let e = m.expr(&terms);
+        m.add_eq(e, 1.0);
+    }
+    let cores: Vec<f64> = spec.cores.iter().map(|&c| c as f64 * 20.0).collect();
+    let total: f64 = cores.iter().sum();
+    let mut objective = Vec::new();
+    for s in 0..SITES {
+        for b in 0..BUCKETS {
+            let d = m.var(&format!("d{s}b{b}"), 0.0, f64::INFINITY);
+            let frac = if spec.frac[s * BUCKETS + b] == 0 {
+                0.2
+            } else {
+                0.9
+            };
+            let capacity = total / SITES as f64 * frac;
+            let mut lhs = vec![(d, 1.0)];
+            for (a, xr) in x.iter().enumerate() {
+                lhs.push((xr[s], -cores[a]));
+            }
+            let e = m.expr(&lhs);
+            m.add_ge(e, -capacity);
+            objective.push((d, 4.0));
+        }
+    }
+    for (a, row) in x.iter().enumerate() {
+        for (s, &v) in row.iter().enumerate() {
+            objective.push((v, spec.costs[a * SITES + s] as f64));
+        }
+    }
+    let e = m.expr(&objective);
+    m.set_objective(e);
+    let binaries = x.into_iter().flatten().collect();
+    (m, binaries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn sparse_lps_agree_with_the_dense_oracle(lp in sparse_lp(6, 4)) {
+        let m = build(&lp, &[], 0, &[]);
+        assert_agree(&solve_lp(&m, &[]), &solve_lp_reference(&m, &[]));
+    }
+
+    #[test]
+    fn placement_relaxations_agree_with_the_dense_oracle(spec in placement_spec(4)) {
+        let (m, binaries) = build_placement(&spec);
+        let root = solve_lp_state(&m, &[], None);
+        assert_agree(
+            &root.as_ref().map(|(s, _)| s.clone()).map_err(Clone::clone),
+            &solve_lp_reference(&m, &[]),
+        );
+        // Branch-style fixings warm-started from the root basis, the way
+        // the branch & bound drives the simplex.
+        if let Ok((_, state)) = root {
+            for (k, &v) in binaries.iter().enumerate() {
+                let fix = if k % 2 == 0 { 1.0 } else { 0.0 };
+                let overrides = [(v, fix, fix)];
+                let warm = solve_lp_state(&m, &overrides, Some(&state)).map(|(s, _)| s);
+                assert_agree(&warm, &solve_lp_reference(&m, &overrides));
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_warm_resolves_agree_with_cold_solves(
+        lp in sparse_lp(6, 4),
+        rhs_shift in proptest::collection::vec(-2..=2i32, 4),
+        obj_shift in -2..=2i32,
+        ub_shift in proptest::collection::vec(-1..=1i32, 6),
+    ) {
+        let base = build(&lp, &[], 0, &[]);
+        let Ok((sol0, state0)) = solve_lp_state(&base, &[], None) else {
+            // Infeasible/unbounded base: nothing to carry across epochs.
+            return;
+        };
+
+        // Epoch with nothing changed: the retained state is already
+        // optimal, so the repair must succeed and reproduce the optimum.
+        let (same, _) = solve_lp_epoch_warm(&base, &state0)
+            .expect("unchanged epoch must warm-start");
+        assert!(
+            (same.objective - sol0.objective).abs() < TOL,
+            "unchanged epoch drifted: {} vs {}",
+            same.objective,
+            sol0.objective
+        );
+
+        // Perturbed epoch: when the dual repair succeeds it must match a
+        // cold solve of the perturbed model (and the dense oracle). A
+        // failed repair is not a feasibility certificate — callers fall
+        // back to a cold root — so `Err` makes no claim here.
+        let next = build(&lp, &rhs_shift, obj_shift, &ub_shift);
+        if let Ok((warm, _)) = solve_lp_epoch_warm(&next, &state0) {
+            let cold = solve_lp(&next, &[]);
+            assert_agree(&Ok(warm), &cold);
+            assert_agree(&cold, &solve_lp_reference(&next, &[]));
+        }
+    }
+}

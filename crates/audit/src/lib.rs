@@ -1,0 +1,137 @@
+//! vb-audit: the workspace lint engine.
+//!
+//! Parses every non-shim, non-test Rust source in the workspace with a
+//! hand-rolled comment/string-stripping scanner (see [`scanner`]) and
+//! enforces the project-specific lints described in [`lints`]. Run it
+//! with:
+//!
+//! ```text
+//! cargo run -p vb-audit -- --workspace
+//! ```
+//!
+//! Exit status is non-zero when any finding survives suppression, so
+//! the CI `audit` job is blocking (`-D` semantics).
+
+pub mod lints;
+pub mod manifest;
+pub mod scanner;
+
+pub use lints::{FileSpec, Finding};
+pub use manifest::Manifest;
+
+use std::path::{Path, PathBuf};
+
+/// The lint engine: a parsed metrics manifest plus the rule set.
+pub struct Engine {
+    manifest: Manifest,
+}
+
+impl Engine {
+    pub fn new(manifest: Manifest) -> Engine {
+        Engine { manifest }
+    }
+
+    /// Audit a single source text under the given label and spec.
+    pub fn audit_source(&self, label: &str, src: &str, spec: FileSpec) -> Vec<Finding> {
+        let scanned = scanner::scan(src);
+        lints::run_lints(label, &scanned, spec, &self.manifest)
+    }
+}
+
+/// Which path-scoped lints apply to a workspace-relative path
+/// (forward-slash separated).
+pub fn spec_for(rel: &str) -> FileSpec {
+    let no_panic = [
+        "crates/sched/src/",
+        "crates/cluster/src/",
+        "crates/net/src/",
+        "crates/core/src/",
+    ]
+    .iter()
+    .any(|p| rel.starts_with(p));
+    let div_guard = rel == "crates/net/src/wan.rs" || rel.starts_with("crates/stats/src/");
+    FileSpec {
+        no_panic,
+        div_guard,
+    }
+}
+
+/// Collect the workspace-relative paths of every scannable source file:
+/// `src/**/*.rs` at the root plus `crates/*/src/**/*.rs`. Shims, tests,
+/// benches and examples live outside those trees and are never visited.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut out)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        members.sort();
+        for member in members {
+            let src = member.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut out)?;
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Audit the whole workspace rooted at `root`. Returns the surviving
+/// findings (manifest problems included) or an I/O error message.
+pub fn audit_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let manifest_path = root.join("metrics-manifest.toml");
+    let mut findings = Vec::new();
+    let manifest = match std::fs::read_to_string(&manifest_path) {
+        Ok(text) => match Manifest::parse(&text) {
+            Ok(m) => m,
+            Err(errors) => {
+                for (line, message) in errors {
+                    findings.push(Finding {
+                        file: "metrics-manifest.toml".to_string(),
+                        line,
+                        lint: "metric-name",
+                        message,
+                    });
+                }
+                Manifest::default()
+            }
+        },
+        Err(err) => return Err(format!("{}: {err}", manifest_path.display())),
+    };
+
+    let engine = Engine::new(manifest);
+    for path in workspace_sources(root).map_err(|e| e.to_string())? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        findings.extend(engine.audit_source(&rel, &src, spec_for(&rel)));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    Ok(findings)
+}

@@ -1,0 +1,366 @@
+//! The project-specific lint rules.
+//!
+//! | lint              | rule                                                        |
+//! |-------------------|-------------------------------------------------------------|
+//! | `no-panic`        | no `.unwrap()` / `.expect(` / `panic!` in library code of   |
+//! |                   | the instrumented crates (sched, cluster, net, core)         |
+//! | `float-cmp`       | no `.partial_cmp(` — float ordering must use `total_cmp`    |
+//! | `horizon-literal` | no naked `96` / `672` outside the `STEPS_PER_DAY` /         |
+//! |                   | `DAY_AHEAD_STEPS` definitions                               |
+//! | `metric-name`     | telemetry metric names are `dot.snake` and declared in      |
+//! |                   | `metrics-manifest.toml` under the matching kind             |
+//! | `div-guard`       | float divisions in `vb-net::wan` and `vb-stats` carry a     |
+//! |                   | visible degenerate-denominator guard                        |
+//!
+//! Any finding is suppressable with `// vb-audit: allow(lint, reason)`
+//! on (or immediately above) the offending line; the reason is
+//! mandatory. Malformed directives are findings themselves
+//! (`allow-parse`) and cannot be suppressed.
+
+use crate::manifest::{is_dot_snake, Manifest};
+use crate::scanner::Scanned;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Lint names a directive may suppress.
+pub const KNOWN_LINTS: &[&str] = &[
+    "no-panic",
+    "float-cmp",
+    "horizon-literal",
+    "metric-name",
+    "div-guard",
+];
+
+/// How many preceding lines a `div-guard` guard expression may sit above
+/// its division.
+const DIV_GUARD_WINDOW: usize = 12;
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub file: String,
+    /// 1-based.
+    pub line: usize,
+    pub lint: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Which path-scoped lints apply to a file. `float-cmp`,
+/// `horizon-literal` and `metric-name` apply everywhere.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileSpec {
+    /// `no-panic` (library code of the instrumented crates).
+    pub no_panic: bool,
+    /// `div-guard` (`vb-net::wan` and `vb-stats`).
+    pub div_guard: bool,
+}
+
+/// Run every applicable lint over a scanned file.
+pub fn run_lints(
+    file: &str,
+    scanned: &Scanned,
+    spec: FileSpec,
+    manifest: &Manifest,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Malformed allow directives are hard errors.
+    for err in &scanned.errors {
+        findings.push(Finding {
+            file: file.to_string(),
+            line: err.line,
+            lint: "allow-parse",
+            message: err.message.clone(),
+        });
+    }
+
+    // Directives naming an unknown lint are errors too (typos would
+    // otherwise silently fail to suppress).
+    let mut allowed: BTreeMap<usize, BTreeSet<&str>> = BTreeMap::new();
+    for allow in &scanned.allows {
+        match KNOWN_LINTS.iter().find(|l| **l == allow.lint) {
+            Some(lint) => {
+                allowed.entry(allow.line).or_default().insert(lint);
+            }
+            None => findings.push(Finding {
+                file: file.to_string(),
+                line: allow.line,
+                lint: "allow-parse",
+                message: format!("allow directive names unknown lint `{}`", allow.lint),
+            }),
+        }
+    }
+
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let lineno = idx + 1;
+        let push = |lint: &'static str, message: String, findings: &mut Vec<Finding>| {
+            if !allowed.get(&lineno).is_some_and(|set| set.contains(lint)) {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: lineno,
+                    lint,
+                    message,
+                });
+            }
+        };
+
+        if spec.no_panic {
+            for (pat, what) in [
+                (".unwrap()", "unwrap()"),
+                (".expect(", "expect()"),
+                ("panic!", "panic!"),
+            ] {
+                if find_token(&line.code, pat).is_some() {
+                    push(
+                        "no-panic",
+                        format!("`{what}` in library code; return a Result, fall back with telemetry, or add `vb-audit: allow(no-panic, reason)`"),
+                        &mut findings,
+                    );
+                }
+            }
+        }
+
+        if line.code.contains(".partial_cmp(") && !line.code.contains("fn partial_cmp") {
+            push(
+                "float-cmp",
+                "`partial_cmp` float ordering; use `total_cmp` for a total order over NaN"
+                    .to_string(),
+                &mut findings,
+            );
+        }
+
+        if !line.code.contains("const STEPS_PER_DAY")
+            && !line.code.contains("const DAY_AHEAD_STEPS")
+        {
+            for tok in number_tokens(&line.code) {
+                if matches!(tok.as_str(), "96" | "96.0" | "672" | "672.0") {
+                    push(
+                        "horizon-literal",
+                        format!("naked horizon literal `{tok}`; use vb_trace::STEPS_PER_DAY / DAY_AHEAD_STEPS"),
+                        &mut findings,
+                    );
+                }
+            }
+        }
+
+        for (kind, name) in metric_call_sites(&line.code, &line.with_strings) {
+            if !is_dot_snake(&name) {
+                push(
+                    "metric-name",
+                    format!("metric name `{name}` is not dot.snake (`crate_area.metric_name`)"),
+                    &mut findings,
+                );
+            } else if !manifest.declares(kind, &name) {
+                push(
+                    "metric-name",
+                    format!(
+                        "metric `{name}` is not declared under [{kind}] in metrics-manifest.toml"
+                    ),
+                    &mut findings,
+                );
+            }
+        }
+
+        if spec.div_guard {
+            for col in division_sites(&line.code) {
+                let chars: Vec<char> = line.code.chars().collect();
+                if literal_denominator(&chars, col) {
+                    continue;
+                }
+                let start = idx.saturating_sub(DIV_GUARD_WINDOW);
+                let guarded = scanned.lines[start..=idx]
+                    .iter()
+                    .any(|l| has_guard_token(&l.code));
+                if !guarded {
+                    push(
+                        "div-guard",
+                        "division without a visible degenerate-denominator guard within the preceding 12 lines".to_string(),
+                        &mut findings,
+                    );
+                }
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
+    findings
+}
+
+/// Find `pat` in `code` at a position not preceded by an identifier
+/// character (so `counter!(` never matches inside `float_counter!(`,
+/// and `panic!` never matches `some_panic!`).
+fn find_token(code: &str, pat: &str) -> Option<usize> {
+    let chars: Vec<char> = code.chars().collect();
+    let pat_chars: Vec<char> = pat.chars().collect();
+    let mut i = 0;
+    while i + pat_chars.len() <= chars.len() {
+        if chars[i..i + pat_chars.len()] == pat_chars[..] {
+            let prev_ok = i == 0 || {
+                let p = chars[i - 1];
+                !(p.is_ascii_alphanumeric() || p == '_')
+            };
+            if prev_ok {
+                return Some(i);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Extract standalone numeric tokens: maximal digit/underscore runs not
+/// preceded by an identifier char, with an optional `.digits` fraction.
+fn number_tokens(code: &str) -> Vec<String> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let starts = c.is_ascii_digit()
+            && (i == 0 || !(chars[i - 1].is_ascii_alphanumeric() || chars[i - 1] == '_'));
+        if !starts {
+            i += 1;
+            continue;
+        }
+        let mut tok = String::new();
+        while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+            tok.push(chars[i]);
+            i += 1;
+        }
+        // Decimal fraction, but not a `..` range.
+        if i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+            tok.push('.');
+            i += 1;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                tok.push(chars[i]);
+                i += 1;
+            }
+        }
+        // Skip suffixed literals' suffix so the next token starts clean.
+        while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+            i += 1;
+        }
+        out.push(tok);
+    }
+    out
+}
+
+/// Telemetry call sites on a line: `(kind, metric name)` pairs.
+///
+/// The macro name and delimiters are matched against the string-blanked
+/// code view (so a lint pattern inside a string literal can never
+/// register), while the metric name itself is read from the
+/// string-preserving view at the same character offsets.
+fn metric_call_sites(code: &str, with_strings: &str) -> Vec<(&'static str, String)> {
+    const PATTERNS: &[(&str, &str)] = &[
+        ("float_counter!(", "float_counters"),
+        ("counter!(", "counters"),
+        ("gauge!(", "gauges"),
+        ("histogram!(", "histograms"),
+        ("span!(", "spans"),
+        ("vb_telemetry::event(", "events"),
+    ];
+    let code_chars: Vec<char> = code.chars().collect();
+    let ws_chars: Vec<char> = with_strings.chars().collect();
+    let mut out = Vec::new();
+    for &(pat, kind) in PATTERNS {
+        let mut search_from = 0;
+        while let Some(rel) = find_token(&code_chars[search_from..].iter().collect::<String>(), pat)
+        {
+            let at = search_from + rel;
+            let mut j = at + pat.chars().count();
+            while j < code_chars.len() && code_chars[j].is_whitespace() {
+                j += 1;
+            }
+            search_from = at + 1;
+            // Only statically-known names are checkable: expect an
+            // opening quote right after the paren (macro-internal `$…`
+            // expansions and passthrough idents are skipped).
+            if code_chars.get(j) != Some(&'"') {
+                continue;
+            }
+            let open = j;
+            let mut close = open + 1;
+            while close < code_chars.len() && code_chars[close] != '"' {
+                close += 1;
+            }
+            if close >= ws_chars.len() {
+                continue;
+            }
+            let name: String = ws_chars[open + 1..close].iter().collect();
+            out.push((kind, name));
+        }
+    }
+    out
+}
+
+/// Character columns of division operators on a line (`/` that is not
+/// part of a comment delimiter — those are already stripped).
+fn division_sites(code: &str) -> Vec<usize> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '/' {
+            continue;
+        }
+        // `/=` compound assignment counts as a division too.
+        let prev = if i > 0 { chars[i - 1] } else { ' ' };
+        if prev == '/' || chars.get(i + 1) == Some(&'/') {
+            continue;
+        }
+        out.push(i);
+    }
+    out
+}
+
+/// True when the denominator that follows column `col` is a numeric
+/// literal (possibly parenthesised), which can never be degenerate.
+fn literal_denominator(chars: &[char], col: usize) -> bool {
+    let mut j = col + 1;
+    if chars.get(j) == Some(&'=') {
+        j += 1;
+    }
+    while j < chars.len() && (chars[j].is_whitespace() || chars[j] == '(') {
+        j += 1;
+    }
+    chars.get(j).is_some_and(|c| c.is_ascii_digit())
+}
+
+/// Guard expressions that make a nearby division visibly safe.
+fn has_guard_token(code: &str) -> bool {
+    const GUARDS: &[&str] = &[
+        "is_empty",
+        "is_nan",
+        "is_finite",
+        ".max(",
+        ".min(",
+        ".clamp(",
+        "== 0",
+        "!= 0",
+        "<= 0",
+        "< 0",
+        "> 0",
+        ">= 1",
+        "< 2",
+        "debug_assert",
+        "assert!",
+        "< 1e-",
+        "> 1e-",
+        ">= 1e-",
+        "EPSILON",
+    ];
+    GUARDS.iter().any(|g| code.contains(g))
+}

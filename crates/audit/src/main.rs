@@ -1,0 +1,76 @@
+//! CLI entry point: `cargo run -p vb-audit -- --workspace`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: vb-audit --workspace [--root <path>]
+
+Lints every non-shim, non-test Rust source in the workspace. Exits 0
+when no finding survives suppression, 1 otherwise (\"-D\" semantics).";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut workspace = false;
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--root requires a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !workspace {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let root = root.unwrap_or_else(find_workspace_root);
+    match vb_audit::audit_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("vb-audit: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for finding in &findings {
+                println!("{finding}");
+            }
+            println!("vb-audit: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("vb-audit: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Walk up from the current directory to the first `Cargo.toml` that
+/// declares `[workspace]`; fall back to the compile-time crate path.
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let candidate = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&candidate) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}

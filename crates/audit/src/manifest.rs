@@ -1,0 +1,115 @@
+//! Parser for `metrics-manifest.toml`.
+//!
+//! The manifest is valid TOML but the audit tool only understands (and
+//! only needs) a flat subset, parsed by hand since the workspace has no
+//! registry access:
+//!
+//! ```toml
+//! [counters]
+//! "solver.pivots" = "total simplex pivots across all solves"
+//!
+//! [gauges]
+//! "net.wan_busy_fraction" = "fraction of wall-clock the WAN link is busy"
+//! ```
+//!
+//! Section names are the metric kinds (`counters`, `float_counters`,
+//! `gauges`, `histograms`, `spans`, `events`); keys are the declared
+//! metric names. Every telemetry call site in the workspace must name a
+//! metric declared under the matching kind.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The metric kinds the telemetry layer exposes.
+pub const KINDS: &[&str] = &[
+    "counters",
+    "float_counters",
+    "gauges",
+    "histograms",
+    "spans",
+    "events",
+];
+
+/// Parsed manifest: kind → set of declared metric names.
+#[derive(Debug, Default, Clone)]
+pub struct Manifest {
+    pub kinds: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl Manifest {
+    /// True when `name` is declared under `kind`.
+    pub fn declares(&self, kind: &str, name: &str) -> bool {
+        self.kinds.get(kind).is_some_and(|set| set.contains(name))
+    }
+
+    /// Parse the manifest text. Returns the manifest or a list of
+    /// line-numbered parse errors.
+    pub fn parse(text: &str) -> Result<Manifest, Vec<(usize, String)>> {
+        let mut manifest = Manifest::default();
+        let mut errors = Vec::new();
+        let mut section: Option<String> = None;
+
+        for (lineno0, raw) in text.lines().enumerate() {
+            let lineno = lineno0 + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                let name = name.trim();
+                if !KINDS.contains(&name) {
+                    errors.push((lineno, format!("unknown metric kind `[{name}]`")));
+                    section = None;
+                    continue;
+                }
+                section = Some(name.to_string());
+                manifest.kinds.entry(name.to_string()).or_default();
+                continue;
+            }
+            let Some((key, _value)) = line.split_once('=') else {
+                errors.push((
+                    lineno,
+                    format!("expected `\"name\" = \"description\"`, got `{line}`"),
+                ));
+                continue;
+            };
+            let key = key.trim().trim_matches('"').trim();
+            let Some(section) = section.as_ref() else {
+                errors.push((
+                    lineno,
+                    format!("metric `{key}` declared outside any [kind] section"),
+                ));
+                continue;
+            };
+            if key.is_empty() {
+                errors.push((lineno, "empty metric name".to_string()));
+                continue;
+            }
+            if !is_dot_snake(key) {
+                errors.push((lineno, format!("metric name `{key}` is not dot.snake")));
+                continue;
+            }
+            let set = manifest.kinds.entry(section.clone()).or_default();
+            if !set.insert(key.to_string()) {
+                errors.push((lineno, format!("duplicate metric `{key}` in [{section}]")));
+            }
+        }
+        if errors.is_empty() {
+            Ok(manifest)
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+/// `dot.snake`: at least two lowercase/digit/underscore segments joined
+/// by single dots.
+pub fn is_dot_snake(name: &str) -> bool {
+    let segments: Vec<&str> = name.split('.').collect();
+    segments.len() >= 2
+        && segments.iter().all(|seg| {
+            !seg.is_empty()
+                && seg
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}

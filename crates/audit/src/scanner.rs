@@ -1,0 +1,366 @@
+//! Hand-rolled lexical scanner for Rust sources.
+//!
+//! The audit engine runs in an offline workspace (no registry access, so
+//! no `syn`); instead of a full parse it performs a line-preserving
+//! lexical pass that is exact about the three things the lints need:
+//!
+//! * comments (line, nested block) are stripped,
+//! * string/char literal *contents* are blanked out of the code view so
+//!   text inside strings can never trip a code lint, while a parallel
+//!   view keeps literals verbatim for the metric-name lint,
+//! * `#[cfg(test)]` items are tracked by brace depth and marked so
+//!   library-only lints skip them.
+//!
+//! Both views are column-preserving: every stripped character becomes a
+//! space, so byte offsets in a view line up with the original source.
+
+/// One scanned source line, in both views.
+#[derive(Debug, Clone)]
+pub struct SourceLine {
+    /// Comments stripped, string/char contents blanked (delimiters kept).
+    pub code: String,
+    /// Comments stripped, string literals kept verbatim.
+    pub with_strings: String,
+    /// True when the line is inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// A parsed `// vb-audit: allow(lint, reason)` directive.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// 1-based line the suppression applies to.
+    pub line: usize,
+    pub lint: String,
+    #[allow(dead_code)]
+    pub reason: String,
+}
+
+/// A malformed directive; reported as a finding by the engine.
+#[derive(Debug, Clone)]
+pub struct ScanError {
+    /// 1-based line of the malformed directive.
+    pub line: usize,
+    pub message: String,
+}
+
+/// Result of scanning one file.
+#[derive(Debug, Default)]
+pub struct Scanned {
+    pub lines: Vec<SourceLine>,
+    pub allows: Vec<Allow>,
+    pub errors: Vec<ScanError>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    /// Nested block comment at the given depth.
+    Block(u32),
+    /// Inside a normal string literal.
+    Str,
+    /// Inside a raw string closed by `"` + this many `#`.
+    RawStr(u32),
+}
+
+/// Scan a whole source file.
+pub fn scan(src: &str) -> Scanned {
+    let mut out = Scanned::default();
+    let mut state = State::Code;
+    // Test-item tracking: brace depth in the code view, plus an optional
+    // (base_depth, body_opened) pair while skipping a `#[cfg(test)]` item.
+    let mut depth: i64 = 0;
+    let mut test_skip: Option<(i64, bool)> = None;
+
+    for (lineno0, raw) in src.lines().enumerate() {
+        let lineno = lineno0 + 1;
+        let chars: Vec<char> = raw.chars().collect();
+        let mut code = String::with_capacity(raw.len());
+        let mut with_strings = String::with_capacity(raw.len());
+        let mut comment_text = String::new();
+        let mut started_in_test = test_skip.is_some();
+        let mut i = 0usize;
+
+        while i < chars.len() {
+            let c = chars[i];
+            match state {
+                State::Code => {
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        // Line comment: capture text (directives live in
+                        // plain `//` comments only — doc comments are
+                        // prose, not suppressions), blank the rest.
+                        let is_doc = matches!(chars.get(i + 2), Some('/') | Some('!'));
+                        if !is_doc {
+                            comment_text.push_str(&chars[i + 2..].iter().collect::<String>());
+                        }
+                        for _ in i..chars.len() {
+                            code.push(' ');
+                            with_strings.push(' ');
+                        }
+                        i = chars.len();
+                        continue;
+                    }
+                    if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::Block(1);
+                        code.push(' ');
+                        code.push(' ');
+                        with_strings.push(' ');
+                        with_strings.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    // Raw (and raw byte) string openers: r"…", r#"…"#, br"…".
+                    if c == 'r' || (c == 'b' && chars.get(i + 1) == Some(&'r')) {
+                        let r_at = if c == 'b' { i + 1 } else { i };
+                        let mut j = r_at + 1;
+                        let mut hashes = 0u32;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        // Only a raw string if `r`/`br` starts an identifier
+                        // here (previous char is not part of one).
+                        let prev_ok = i == 0 || !is_ident(chars[i - 1]);
+                        if prev_ok && chars.get(j) == Some(&'"') {
+                            for &ch in &chars[i..=j] {
+                                code.push(ch);
+                                with_strings.push(ch);
+                            }
+                            state = State::RawStr(hashes);
+                            i = j + 1;
+                            continue;
+                        }
+                    }
+                    if c == '"' {
+                        code.push('"');
+                        with_strings.push('"');
+                        state = State::Str;
+                        i += 1;
+                        continue;
+                    }
+                    if c == '\'' {
+                        // Char literal vs lifetime. A char literal is
+                        // '\…' or 'X' with a closing quote right after.
+                        let is_char = match chars.get(i + 1) {
+                            Some('\\') => true,
+                            Some(_) => chars.get(i + 2) == Some(&'\''),
+                            None => false,
+                        };
+                        if is_char {
+                            code.push('\'');
+                            with_strings.push('\'');
+                            i += 1;
+                            // Consume until the closing quote.
+                            while i < chars.len() {
+                                let cc = chars[i];
+                                if cc == '\\' {
+                                    code.push(' ');
+                                    with_strings.push(cc);
+                                    if i + 1 < chars.len() {
+                                        code.push(' ');
+                                        with_strings.push(chars[i + 1]);
+                                    }
+                                    i += 2;
+                                    continue;
+                                }
+                                if cc == '\'' {
+                                    code.push('\'');
+                                    with_strings.push('\'');
+                                    i += 1;
+                                    break;
+                                }
+                                code.push(' ');
+                                with_strings.push(cc);
+                                i += 1;
+                            }
+                            continue;
+                        }
+                        // Lifetime: keep the tick, fall through.
+                    }
+                    if c == '{' {
+                        depth += 1;
+                        if let Some((_, opened)) = test_skip.as_mut() {
+                            *opened = true;
+                        }
+                    } else if c == '}' {
+                        depth -= 1;
+                        if let Some((base, opened)) = test_skip {
+                            if opened && depth <= base {
+                                test_skip = None;
+                            }
+                        }
+                    } else if c == ';' {
+                        if let Some((base, opened)) = test_skip {
+                            if !opened && depth == base {
+                                // `#[cfg(test)] use …;` style item.
+                                test_skip = None;
+                            }
+                        }
+                    }
+                    code.push(c);
+                    with_strings.push(c);
+                    i += 1;
+                }
+                State::Block(d) => {
+                    if c == '*' && chars.get(i + 1) == Some(&'/') {
+                        let nd = d - 1;
+                        state = if nd == 0 {
+                            State::Code
+                        } else {
+                            State::Block(nd)
+                        };
+                        code.push(' ');
+                        code.push(' ');
+                        with_strings.push(' ');
+                        with_strings.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::Block(d + 1);
+                        code.push(' ');
+                        code.push(' ');
+                        with_strings.push(' ');
+                        with_strings.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    comment_text.push(c);
+                    code.push(' ');
+                    with_strings.push(' ');
+                    i += 1;
+                }
+                State::Str => {
+                    if c == '\\' {
+                        code.push(' ');
+                        with_strings.push(c);
+                        if i + 1 < chars.len() {
+                            code.push(' ');
+                            with_strings.push(chars[i + 1]);
+                        }
+                        i += 2;
+                        continue;
+                    }
+                    if c == '"' {
+                        code.push('"');
+                        with_strings.push('"');
+                        state = State::Code;
+                        i += 1;
+                        continue;
+                    }
+                    code.push(' ');
+                    with_strings.push(c);
+                    i += 1;
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' {
+                        let mut ok = true;
+                        for k in 0..hashes as usize {
+                            if chars.get(i + 1 + k) != Some(&'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            code.push('"');
+                            with_strings.push('"');
+                            for k in 0..hashes as usize {
+                                code.push('#');
+                                with_strings.push(chars[i + 1 + k]);
+                            }
+                            state = State::Code;
+                            i += 1 + hashes as usize;
+                            continue;
+                        }
+                    }
+                    code.push(' ');
+                    with_strings.push(c);
+                    i += 1;
+                }
+            }
+        }
+
+        // A `#[cfg(test)]` attribute seen on this line (in the code view)
+        // starts a skip region unless we're already inside one.
+        if test_skip.is_none() && (code.contains("#[cfg(test)") || code.contains("#[cfg(all(test"))
+        {
+            // The attribute's braces (if the item opens on the same line)
+            // were already counted above; recompute the base depth as the
+            // depth *before* any brace that followed the attribute. Using
+            // the current depth minus unclosed braces opened after the
+            // attribute would need column tracking; instead take the
+            // minimum of current depth and depth at line start.
+            let opens = code.matches('{').count() as i64;
+            let closes = code.matches('}').count() as i64;
+            let line_start_depth = depth - opens + closes;
+            test_skip = Some((line_start_depth.min(depth), opens > 0));
+            started_in_test = true;
+            if opens > 0 && opens == closes {
+                // Single-line `#[cfg(test)] fn x() {}` item.
+                test_skip = None;
+            }
+        }
+
+        // Directive extraction from this line's comment text.
+        if let Some(pos) = comment_text.find("vb-audit:") {
+            let rest = comment_text[pos + "vb-audit:".len()..].trim();
+            match parse_allow(rest) {
+                Ok((lint, reason)) => {
+                    // A directive on a comment-only line applies to the
+                    // next source line; inline directives to their own.
+                    let target = if code.trim().is_empty() {
+                        lineno + 1
+                    } else {
+                        lineno
+                    };
+                    out.allows.push(Allow {
+                        line: target,
+                        lint,
+                        reason,
+                    });
+                }
+                Err(message) => out.errors.push(ScanError {
+                    line: lineno,
+                    message,
+                }),
+            }
+        }
+
+        out.lines.push(SourceLine {
+            code,
+            with_strings,
+            in_test: started_in_test || test_skip.is_some(),
+        });
+    }
+    out
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Parse the tail of a directive: `allow(lint-name, reason text)`.
+fn parse_allow(rest: &str) -> Result<(String, String), String> {
+    let body = rest
+        .strip_prefix("allow(")
+        .ok_or_else(|| format!("expected `allow(lint, reason)` after `vb-audit:`, got `{rest}`"))?;
+    let body = body
+        .rfind(')')
+        .map(|end| &body[..end])
+        .ok_or_else(|| "unterminated allow directive: missing `)`".to_string())?;
+    let (lint, reason) = body
+        .split_once(',')
+        .ok_or_else(|| "allow directive requires a reason: `allow(lint, reason)`".to_string())?;
+    let lint = lint.trim();
+    let reason = reason.trim().trim_matches('"').trim();
+    if lint.is_empty()
+        || !lint
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+    {
+        return Err(format!("invalid lint name `{lint}` in allow directive"));
+    }
+    if reason.is_empty() {
+        return Err(format!("allow({lint}, …) is missing a reason"));
+    }
+    Ok((lint.to_string(), reason.to_string()))
+}

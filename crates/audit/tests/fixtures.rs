@@ -1,0 +1,175 @@
+//! Fixture suite: one positive and one negative case per lint, plus
+//! allow-directive parsing. Fixtures live under `tests/fixtures/` and
+//! are audited as text — they are never compiled.
+
+use vb_audit::{Engine, FileSpec, Finding, Manifest};
+
+const FIXTURE_MANIFEST: &str = r#"
+[counters]
+"fixture.ticks" = "ticks"
+"fixture.undeclared_elsewhere" = "red herring"
+
+[float_counters]
+"fixture.volume_gb" = "volume"
+
+[gauges]
+"fixture.level" = "level"
+
+[histograms]
+"fixture.latency_ms" = "latency"
+
+[spans]
+"fixture.step" = "step"
+
+[events]
+"fixture.done" = "done"
+"#;
+
+fn audit(name: &str, spec: FileSpec) -> Vec<Finding> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    let src = std::fs::read_to_string(format!("{path}/{name}"))
+        .unwrap_or_else(|e| panic!("read fixture {name}: {e}"));
+    let manifest = Manifest::parse(FIXTURE_MANIFEST).expect("fixture manifest parses");
+    Engine::new(manifest).audit_source(name, &src, spec)
+}
+
+fn lints(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.lint).collect()
+}
+
+const NO_PANIC: FileSpec = FileSpec {
+    no_panic: true,
+    div_guard: false,
+};
+const DIV_GUARD: FileSpec = FileSpec {
+    no_panic: false,
+    div_guard: true,
+};
+
+#[test]
+fn no_panic_positive() {
+    let findings = audit("no_panic_bad.rs", NO_PANIC);
+    assert_eq!(lints(&findings), ["no-panic", "no-panic", "no-panic"]);
+    assert_eq!(findings[0].line, 4, "unwrap");
+    assert_eq!(findings[1].line, 8, "expect");
+    assert_eq!(findings[2].line, 12, "panic!");
+}
+
+#[test]
+fn no_panic_negative() {
+    // unwrap_or, strings, allowed lines and #[cfg(test)] bodies all pass.
+    let findings = audit("no_panic_ok.rs", NO_PANIC);
+    assert_eq!(findings, [], "expected clean, got: {findings:#?}");
+}
+
+#[test]
+fn float_cmp_positive() {
+    let findings = audit("float_cmp_bad.rs", FileSpec::default());
+    assert_eq!(lints(&findings), ["float-cmp"]);
+    assert_eq!(findings[0].line, 4);
+}
+
+#[test]
+fn float_cmp_negative() {
+    // total_cmp call sites and a `fn partial_cmp` definition are clean.
+    let findings = audit("float_cmp_ok.rs", FileSpec::default());
+    assert_eq!(findings, [], "expected clean, got: {findings:#?}");
+}
+
+#[test]
+fn horizon_literal_positive() {
+    let findings = audit("horizon_bad.rs", FileSpec::default());
+    assert_eq!(
+        lints(&findings),
+        ["horizon-literal", "horizon-literal", "horizon-literal"]
+    );
+    assert_eq!(findings[0].line, 4, "96");
+    assert_eq!(findings[1].line, 8, "672");
+    assert_eq!(findings[2].line, 12, "96.0");
+}
+
+#[test]
+fn horizon_literal_negative() {
+    // The const definitions themselves and 960/1672/9.6 are clean.
+    let findings = audit("horizon_ok.rs", FileSpec::default());
+    assert_eq!(findings, [], "expected clean, got: {findings:#?}");
+}
+
+#[test]
+fn metric_name_positive() {
+    let findings = audit("metric_bad.rs", FileSpec::default());
+    assert_eq!(
+        lints(&findings),
+        ["metric-name", "metric-name", "metric-name"]
+    );
+    assert!(
+        findings[0].message.contains("fixture.undeclared"),
+        "undeclared counter: {}",
+        findings[0]
+    );
+    assert!(
+        findings[1].message.contains("fixture.level"),
+        "gauge used as histogram: {}",
+        findings[1]
+    );
+    assert!(
+        findings[2].message.contains("BadName"),
+        "non-dot.snake name: {}",
+        findings[2]
+    );
+}
+
+#[test]
+fn metric_name_negative() {
+    let findings = audit("metric_ok.rs", FileSpec::default());
+    assert_eq!(findings, [], "expected clean, got: {findings:#?}");
+}
+
+#[test]
+fn div_guard_positive() {
+    let findings = audit("div_bad.rs", DIV_GUARD);
+    assert_eq!(lints(&findings), ["div-guard"]);
+    assert_eq!(findings[0].line, 5);
+}
+
+#[test]
+fn div_guard_negative() {
+    // Guarded divisions, literal denominators and a reasoned allow.
+    let findings = audit("div_ok.rs", DIV_GUARD);
+    assert_eq!(findings, [], "expected clean, got: {findings:#?}");
+}
+
+#[test]
+fn malformed_allow_directives_are_findings_and_do_not_suppress() {
+    let findings = audit("allow_bad.rs", NO_PANIC);
+    // Each malformed directive: one allow-parse finding, and the
+    // violation beneath it still fires. The final comment is not a
+    // recognised directive shape at all, so it too is an allow-parse
+    // error rather than silently ignored prose.
+    let parse_errors: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.lint == "allow-parse")
+        .collect();
+    let violations: Vec<&Finding> = findings.iter().filter(|f| f.lint == "no-panic").collect();
+    assert_eq!(parse_errors.len(), 4, "{findings:#?}");
+    assert_eq!(violations.len(), 4, "{findings:#?}");
+    assert!(
+        parse_errors[0].message.contains("reason"),
+        "missing reason names the problem: {}",
+        parse_errors[0]
+    );
+}
+
+#[test]
+fn div_guard_lint_is_path_scoped() {
+    // The same unguarded division passes when the file is outside the
+    // div-guard scope.
+    let findings = audit("div_bad.rs", FileSpec::default());
+    assert_eq!(findings, [], "expected clean, got: {findings:#?}");
+}
+
+#[test]
+fn no_panic_lint_is_path_scoped() {
+    let findings = audit("no_panic_bad.rs", FileSpec::default());
+    assert_eq!(findings, [], "expected clean, got: {findings:#?}");
+}

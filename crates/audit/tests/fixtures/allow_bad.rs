@@ -1,0 +1,23 @@
+//! Positive fixture: malformed suppression directives. Each one is an
+//! unsuppressable `allow-parse` finding, and none of them suppresses
+//! the violation beneath it.
+
+pub fn missing_reason(xs: &[f64]) -> f64 {
+    // vb-audit: allow(no-panic)
+    *xs.first().unwrap()
+}
+
+pub fn empty_reason(xs: &[f64]) -> f64 {
+    // vb-audit: allow(no-panic, )
+    *xs.first().unwrap()
+}
+
+pub fn unknown_lint(xs: &[f64]) -> f64 {
+    // vb-audit: allow(no-such-lint, typo'd lint names must not vanish)
+    *xs.first().unwrap()
+}
+
+pub fn not_a_directive(xs: &[f64]) -> f64 {
+    // vb-audit: suppress everything please
+    *xs.first().unwrap()
+}

@@ -1,0 +1,6 @@
+//! Positive fixture: an unguarded float division by a runtime value.
+
+pub fn mean(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    xs.iter().sum::<f64>() / n
+}

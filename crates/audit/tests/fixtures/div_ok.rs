@@ -1,0 +1,25 @@
+//! Negative fixture: guarded divisions, literal denominators, and a
+//! reasoned allow for a denominator the guard heuristic cannot see.
+
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+pub fn halve(x: f64) -> f64 {
+    x / 2.0
+}
+
+pub fn share(part: f64, whole: f64) -> f64 {
+    if whole <= 0.0 || !whole.is_finite() {
+        return 0.0;
+    }
+    part / whole
+}
+
+pub fn per_step(total: f64, steps: f64) -> f64 {
+    // vb-audit: allow(div-guard, steps is validated by the caller's constructor)
+    total / steps
+}

@@ -1,0 +1,5 @@
+//! Positive fixture: `partial_cmp` float ordering.
+
+pub fn sort(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

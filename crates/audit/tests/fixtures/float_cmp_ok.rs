@@ -1,0 +1,20 @@
+//! Negative fixture: `total_cmp` ordering and a `PartialOrd` impl
+//! (defining `fn partial_cmp` is not a call site).
+
+pub struct Score(pub f64);
+
+impl PartialEq for Score {
+    fn eq(&self, other: &Score) -> bool {
+        self.0.total_cmp(&other.0).is_eq()
+    }
+}
+
+impl PartialOrd for Score {
+    fn partial_cmp(&self, other: &Score) -> Option<std::cmp::Ordering> {
+        Some(self.0.total_cmp(&other.0))
+    }
+}
+
+pub fn sort(v: &mut [f64]) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}

@@ -1,0 +1,13 @@
+//! Positive fixture: naked scheduling-horizon literals.
+
+pub fn window() -> usize {
+    96
+}
+
+pub fn day_ahead() -> usize {
+    672
+}
+
+pub fn fractional() -> f64 {
+    96.0 * 0.5
+}

@@ -1,0 +1,13 @@
+//! Negative fixture: the canonical definitions, derived values, and
+//! near-miss literals (960, 1672, 9.6) that must not be flagged.
+
+pub const STEPS_PER_DAY: usize = 96;
+pub const DAY_AHEAD_STEPS: usize = 672;
+
+pub fn derived() -> usize {
+    2 * STEPS_PER_DAY + DAY_AHEAD_STEPS
+}
+
+pub fn near_misses() -> (usize, usize, f64) {
+    (960, 1672, 9.6)
+}

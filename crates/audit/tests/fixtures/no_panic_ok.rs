@@ -1,0 +1,29 @@
+//! Negative fixture: fallible code, allowed panics, test-module panics,
+//! and identifiers that merely contain the token (`unwrap_or`).
+
+pub fn first(xs: &[f64]) -> f64 {
+    xs.first().copied().unwrap_or(0.0)
+}
+
+pub fn checked(xs: &[f64]) -> Option<f64> {
+    // The string below must not trip the lint: "call .unwrap() freely".
+    xs.first().copied()
+}
+
+pub fn pivot(xs: &[f64]) -> f64 {
+    // vb-audit: allow(no-panic, index bounded by the loop above)
+    xs[0]
+        .partial_cmp(&1.0) // vb-audit: allow(float-cmp, fixture exercises inline suppression)
+        .map(|_| xs[0])
+        // vb-audit: allow(no-panic, Some by the match arm guard)
+        .unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let xs = [1.0f64];
+        assert_eq!(*xs.first().unwrap(), 1.0);
+    }
+}

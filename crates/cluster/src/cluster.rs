@@ -259,6 +259,7 @@ impl Cluster {
         if self.allocated_cores > budget {
             let mut out = Vec::new();
             self.for_each_rr_victim(budget, false, |cluster, id| {
+                // vb-audit: allow(no-panic, for_each_rr_victim only yields ids of live vm slots)
                 let vm = cluster.vms[id.0].as_ref().expect("victim exists");
                 out.push(EvictedVm {
                     request: vm.request,
@@ -281,6 +282,7 @@ impl Cluster {
         while let Some(&id) = self.hibernated.front() {
             let cores = self.vms[id.0]
                 .as_ref()
+                // vb-audit: allow(no-panic, the hibernated queue holds only live vm slots by construction)
                 .expect("hibernated vm exists")
                 .request
                 .cores;
@@ -423,6 +425,7 @@ impl Cluster {
     /// Hibernate a running degradable VM in place: cores freed, memory
     /// retained on the server.
     fn hibernate(&mut self, id: VmId) {
+        // vb-audit: allow(no-panic, callers pass ids taken from live server run-lists)
         let vm = self.vms[id.0].as_mut().expect("vm exists");
         let VmState::Running(s) = vm.state else {
             return;
@@ -439,6 +442,7 @@ impl Cluster {
     /// back to any powered server (an intra-site move, no WAN traffic).
     fn resume(&mut self, id: VmId) -> bool {
         let (req, home) = {
+            // vb-audit: allow(no-panic, callers pass ids taken from the live hibernated queue)
             let vm = self.vms[id.0].as_ref().expect("vm exists");
             let VmState::Hibernated(s) = vm.state else {
                 return false;
@@ -462,6 +466,7 @@ impl Cluster {
             self.servers[home].free_mem += req.mem_gb;
             self.servers[target].free_mem -= req.mem_gb;
         }
+        // vb-audit: allow(no-panic, id was checked against a live slot at the top of resume)
         let vm = self.vms[id.0].as_mut().expect("vm exists");
         vm.state = VmState::Running(target);
         self.servers[target].free_cores -= req.cores;
@@ -486,6 +491,7 @@ impl Cluster {
             let s = self.rr_cursor % n;
             self.rr_cursor = (self.rr_cursor + 1) % n;
             let victim = self.servers[s].running.iter().rev().copied().find(|id| {
+                // vb-audit: allow(no-panic, server run-lists reference only live vm slots)
                 let vm = self.vms[id.0].as_ref().expect("listed vm exists");
                 degradable_only == (vm.request.kind == VmKind::Degradable)
             });

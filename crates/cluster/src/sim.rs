@@ -132,7 +132,7 @@ pub fn simulate_paper_site(power: &TimeSeries, seed: u64) -> SimOutput {
     let mean_powered_cores = (cfg.total_cores() as f64 * mean_power) as u32;
     let workload = WorkloadConfig::for_cluster(mean_powered_cores.max(1), cfg.target_util);
     // Two simulated days of warm-up on top of the steady-state pre-fill.
-    simulate(cfg, power, workload, 2 * 96, seed)
+    simulate(cfg, power, workload, 2 * vb_trace::STEPS_PER_DAY, seed)
 }
 
 #[cfg(test)]

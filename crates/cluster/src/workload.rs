@@ -54,7 +54,7 @@ impl Default for WorkloadConfig {
             // in the published Azure trace statistics.
             median_lifetime_steps: 4.0,
             lifetime_sigma: 2.0,
-            max_lifetime_steps: 96 * 14, // two weeks
+            max_lifetime_steps: vb_trace::STEPS_PER_DAY as u32 * 14, // two weeks
         }
     }
 }
@@ -168,6 +168,7 @@ impl Workload {
             }
             u -= p;
         }
+        // vb-audit: allow(no-panic, SHAPES is a non-empty compile-time table)
         let &(cores, mem, _) = SHAPES.last().expect("non-empty shape table");
         (cores, mem)
     }

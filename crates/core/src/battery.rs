@@ -31,6 +31,7 @@ impl VirtualBattery {
     ) -> VirtualBattery {
         let site = catalog
             .get(name)
+            // vb-audit: allow(no-panic, documented `# Panics` contract of the by-name constructor)
             .unwrap_or_else(|| panic!("unknown site {name}"))
             .clone();
         let normalized = catalog.trace(name, start_day, days);

@@ -128,10 +128,10 @@ fn summarize(pairs: &[PairImprovement]) -> ComboStats {
     let improved_50 = pairs.iter().filter(|p| p.improvement > 2.0).count();
     let improved = pairs.iter().filter(|p| p.improvement > 1.0).count();
     let mut improvements: Vec<f64> = pairs.iter().map(|p| p.improvement).collect();
-    improvements.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    improvements.sort_by(|a, b| a.total_cmp(b));
     let best = pairs
         .iter()
-        .max_by(|a, b| a.improvement.partial_cmp(&b.improvement).expect("finite"))
+        .max_by(|a, b| a.improvement.total_cmp(&b.improvement))
         .cloned();
     ComboStats {
         pairs: pairs.len(),

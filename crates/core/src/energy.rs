@@ -73,7 +73,7 @@ pub fn decompose(power_mw: &TimeSeries, window_samples: usize) -> EnergyBreakdow
 
 /// The paper's window: it evaluates stable energy over 3-day intervals
 /// at 15-minute samples.
-pub const WINDOW_3_DAYS: usize = 3 * 96;
+pub const WINDOW_3_DAYS: usize = 3 * vb_trace::STEPS_PER_DAY;
 
 #[cfg(test)]
 mod tests {

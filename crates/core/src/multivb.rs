@@ -41,6 +41,7 @@ impl MultiVb {
             .map(|n| {
                 catalog
                     .get(n)
+                    // vb-audit: allow(no-panic, documented `# Panics` contract of the by-name constructor)
                     .unwrap_or_else(|| panic!("unknown site {n}"))
                     .clone()
             })

@@ -110,7 +110,7 @@ pub fn optimize_purchase(
         .chunks(window_samples)
         .map(|c| {
             let mut v = c.to_vec();
-            v.sort_by(|a, b| a.partial_cmp(b).expect("finite power"));
+            v.sort_by(|a, b| a.total_cmp(b));
             v
         })
         .collect();

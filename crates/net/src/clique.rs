@@ -79,6 +79,7 @@ fn bron_kerbosch(
         .chain(x.iter())
         .copied()
         .max_by_key(|&u| p.iter().filter(|&&v| graph.is_edge(u, v)).count())
+        // vb-audit: allow(no-panic, the p.is_empty() && x.is_empty() early return above makes the chain non-empty)
         .expect("P ∪ X non-empty");
     let candidates: Vec<usize> = p
         .iter()
@@ -140,13 +141,8 @@ pub fn rank_cliques_by_cov(
     });
     scored.sort_by(|a, b| {
         a.cov
-            .partial_cmp(&b.cov)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(
-                a.diameter_ms
-                    .partial_cmp(&b.diameter_ms)
-                    .unwrap_or(std::cmp::Ordering::Equal),
-            )
+            .total_cmp(&b.cov)
+            .then(a.diameter_ms.total_cmp(&b.diameter_ms))
     });
     scored
 }

@@ -43,26 +43,40 @@ impl Default for WanModel {
 }
 
 impl WanModel {
-    /// Fair share of the aggregate WAN per site, in Gbps.
+    /// Fair share of the aggregate WAN per site, in Gbps. A fleet of
+    /// zero sites has no share.
     pub fn per_site_share_gbps(&self) -> f64 {
+        if self.n_sites == 0 {
+            return 0.0;
+        }
         self.aggregate_gbps / self.n_sites as f64
     }
 
     /// Capacity needed to move `gb` within the migration deadline, Gbps.
+    /// A non-positive (or NaN) deadline means the burst cannot complete
+    /// at any finite rate; report zero rather than ±inf/NaN.
     pub fn required_gbps(&self, gb: f64) -> f64 {
+        if self.migration_deadline_secs.is_nan() || self.migration_deadline_secs <= 0.0 {
+            return 0.0;
+        }
         gb * GBIT_PER_GBYTE / self.migration_deadline_secs
     }
 
     /// The required capacity for a burst as a fraction of the per-site
     /// share of the aggregate WAN (the paper's "roughly 40 %" figure for
-    /// a 10 TB spike).
+    /// a 10 TB spike). Returns 0.0 when the share itself is degenerate.
     pub fn share_fraction(&self, gb: f64) -> f64 {
-        self.required_gbps(gb) / self.per_site_share_gbps()
+        let share = self.per_site_share_gbps();
+        if share.is_nan() || share <= 0.0 {
+            return 0.0;
+        }
+        self.required_gbps(gb) / share
     }
 
-    /// Seconds needed to drain `gb` over the provisioned site link.
+    /// Seconds needed to drain `gb` over the provisioned site link. A
+    /// non-positive (or NaN) link rate can never drain anything.
     pub fn drain_secs(&self, gb: f64) -> f64 {
-        if gb <= 0.0 {
+        if gb <= 0.0 || self.site_link_gbps.is_nan() || self.site_link_gbps <= 0.0 {
             0.0
         } else {
             gb * GBIT_PER_GBYTE / self.site_link_gbps
@@ -206,6 +220,33 @@ mod tests {
         for secs in [0.0, -900.0, f64::NAN] {
             assert_eq!(wan.busy_fraction(&[100.0], secs), 0.0);
             assert_eq!(wan.peak_utilization(&[100.0], secs), 0.0);
+        }
+    }
+
+    #[test]
+    fn degenerate_models_return_zero_not_nan() {
+        let zero_sites = WanModel {
+            n_sites: 0,
+            ..WanModel::default()
+        };
+        assert_eq!(zero_sites.per_site_share_gbps(), 0.0);
+        assert_eq!(zero_sites.share_fraction(10_000.0), 0.0);
+        for bad in [0.0, -5.0, f64::NAN] {
+            let wan = WanModel {
+                migration_deadline_secs: bad,
+                ..WanModel::default()
+            };
+            assert_eq!(wan.required_gbps(10_000.0), 0.0);
+            let wan = WanModel {
+                site_link_gbps: bad,
+                ..WanModel::default()
+            };
+            assert_eq!(wan.drain_secs(100.0), 0.0);
+            let wan = WanModel {
+                aggregate_gbps: bad,
+                ..WanModel::default()
+            };
+            assert_eq!(wan.share_fraction(10_000.0), 0.0);
         }
     }
 

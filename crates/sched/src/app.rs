@@ -83,7 +83,7 @@ impl Default for AppGenConfig {
             // VMs — they are services, not tasks.
             median_lifetime_steps: 144.0,
             lifetime_sigma: 0.8,
-            max_lifetime_steps: 96 * 14,
+            max_lifetime_steps: vb_trace::STEPS_PER_DAY as u32 * 14,
         }
     }
 }

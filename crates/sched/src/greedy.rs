@@ -60,7 +60,10 @@ impl Policy for GreedyPolicy {
         let mut extra: Vec<f64> = vec![0.0; ctx.sites.len()];
         let mut out = Vec::with_capacity(ctx.new_apps.len());
         for app in &ctx.new_apps {
-            let site = ctx
+            // `total_cmp` keeps the argmax total even under a NaN score,
+            // and an empty site list simply leaves the app unplaced (the
+            // simulator queues it) instead of panicking mid-run.
+            let Some(site) = ctx
                 .sites
                 .iter()
                 .enumerate()
@@ -73,9 +76,12 @@ impl Policy for GreedyPolicy {
                     };
                     (i, score)
                 })
-                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite score"))
-                .expect("at least one site")
-                .0;
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(i, _)| i)
+            else {
+                vb_telemetry::counter!("sched.planner_no_sites").inc();
+                continue;
+            };
             extra[site] += app.spec.cores() as f64;
             out.push(Assignment { app: app.id, site });
         }

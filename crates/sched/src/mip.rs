@@ -398,12 +398,14 @@ impl MipPolicy {
         for (a, app) in ctx.new_apps.iter().enumerate() {
             let site = (0..n_sites)
                 .max_by(|&i, &j| sol.value(x_new[a][i]).total_cmp(&sol.value(x_new[a][j])))
+                // vb-audit: allow(no-panic, plan() rejects contexts with fewer than 2 sites)
                 .expect("sites non-empty");
             out.push(Assignment { app: app.id, site });
         }
         for (a, app) in ctx.movable.iter().enumerate() {
             let site = (0..n_sites)
                 .max_by(|&i, &j| sol.value(x_mov[a][i]).total_cmp(&sol.value(x_mov[a][j])))
+                // vb-audit: allow(no-panic, plan() rejects contexts with fewer than 2 sites)
                 .expect("sites non-empty");
             if site != app.current_site {
                 out.push(Assignment { app: app.id, site });

@@ -68,6 +68,7 @@ pub fn identify_subgraphs(catalog: &Catalog, cfg: &PipelineConfig) -> Vec<Clique
 /// Panics if the graph has no k-clique at all.
 pub fn select_group(catalog: &Catalog, cfg: &PipelineConfig) -> Vec<String> {
     let ranked = identify_subgraphs(catalog, cfg);
+    // vb-audit: allow(no-panic, documented `# Panics` contract of this convenience API)
     let best = ranked.first().expect("no k-clique in the site graph");
     best.nodes
         .iter()

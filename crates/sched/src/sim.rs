@@ -51,8 +51,10 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// Simulation steps per day at the paper's 15-minute resolution.
-pub const STEPS_PER_DAY: u32 = 96;
+/// Simulation steps per day at the paper's 15-minute resolution
+/// (re-exported from the canonical [`vb_trace::STEPS_PER_DAY`] at the
+/// width the scheduler uses).
+pub const STEPS_PER_DAY: u32 = vb_trace::STEPS_PER_DAY as u32;
 
 /// Day-ahead look-ahead window in steps: how far `site_at_risk` and the
 /// `forecast_min_24h_cores` snapshot scan the day-ahead forecast. Both

@@ -511,7 +511,7 @@ impl SimplexState {
         for (i, &b) in basis.iter().enumerate() {
             basis_pos[b] = i;
         }
-        SimplexState {
+        let st = SimplexState {
             rows,
             rhs,
             rhs_b,
@@ -526,7 +526,10 @@ impl SimplexState {
             art_start,
             price_pos: 0,
             scratch: SpRow::default(),
-        }
+        };
+        #[cfg(feature = "check-invariants")]
+        st.assert_invariants("build");
+        st
     }
 
     /// Phase-2 cost vector: the objective over structurals, min sense.
@@ -671,6 +674,10 @@ impl SimplexState {
                     Step::Flip => {
                         let span = self.ub[enter] - self.lb[enter];
                         let delta = dir * span;
+                        // The objective moves by d[enter]·delta; a
+                        // minimising step must never increase it.
+                        #[cfg(feature = "check-invariants")]
+                        Self::assert_monotone_step(d[enter], delta, "bound flip");
                         for (r, &e) in self.rhs.iter_mut().zip(&ecol) {
                             *r -= e * delta;
                         }
@@ -685,6 +692,12 @@ impl SimplexState {
                         if (self.rhs[row] - target).abs() <= EPS {
                             degenerate += 1;
                         }
+                        #[cfg(feature = "check-invariants")]
+                        Self::assert_monotone_step(
+                            d[enter],
+                            (self.rhs[row] - target) / ecol[row],
+                            "pivot",
+                        );
                         self.pivot_to(row, enter, target, leave_at_upper, d, &ecol);
                         pivots += 1;
                     }
@@ -956,6 +969,9 @@ impl SimplexState {
         }
         self.rows[row] = prow;
         self.rhs[row] = entering_value;
+
+        #[cfg(feature = "check-invariants")]
+        self.assert_invariants("pivot");
     }
 
     /// After phase 1: pivot basic artificials (at value 0) out where a
@@ -979,6 +995,106 @@ impl SimplexState {
         for j in self.art_start..self.cols {
             self.lb[j] = 0.0;
             self.ub[j] = 0.0;
+        }
+        #[cfg(feature = "check-invariants")]
+        self.assert_invariants("artificial expulsion");
+    }
+
+    /// Algebraic self-checks behind the `check-invariants` feature,
+    /// called after every pivot (and at build/expel boundaries):
+    ///
+    /// 1. every sparse row's column indices are strictly increasing,
+    ///    in range, and carry finite values;
+    /// 2. `basis`/`basis_pos` form a consistent bijection between the
+    ///    `m` rows and exactly `m` basic columns, and each basic column
+    ///    holds a unit entry in its own row (the Gauss–Jordan
+    ///    elimination's fixed point);
+    /// 3. every nonbasic column sits at one of its (finite) bounds.
+    ///
+    /// Plain `assert!`, not `debug_assert!`: the point of the feature is
+    /// to keep the checks live in `--release` CI runs.
+    /// Phase-2 (and phase-1) objective monotonicity: a primal step moves
+    /// the entering variable by `travel`, changing the min-sense
+    /// objective by `d_enter·travel`, which must never be positive
+    /// beyond ratio-test tolerance. The dual-simplex repair passes are
+    /// exempt — restoring primal feasibility legitimately pays
+    /// objective.
+    #[cfg(feature = "check-invariants")]
+    fn assert_monotone_step(d_enter: f64, travel: f64, what: &str) {
+        let change = d_enter * travel;
+        assert!(
+            change <= FEAS_EPS * (1.0 + travel.abs()),
+            "objective increased by {change} on a primal {what} \
+             (reduced cost {d_enter}, travel {travel})"
+        );
+    }
+
+    #[cfg(feature = "check-invariants")]
+    fn assert_invariants(&self, ctx: &str) {
+        for (i, row) in self.rows.iter().enumerate() {
+            assert_eq!(
+                row.idx.len(),
+                row.val.len(),
+                "row {i}: idx/val length mismatch after {ctx}"
+            );
+            for w in row.idx.windows(2) {
+                assert!(
+                    w[0] < w[1],
+                    "row {i}: unsorted/duplicate column indices after {ctx}"
+                );
+            }
+            if let Some(&last) = row.idx.last() {
+                assert!(
+                    (last as usize) < self.cols,
+                    "row {i}: column out of range after {ctx}"
+                );
+            }
+            for (j, v) in row.iter() {
+                assert!(
+                    v.is_finite(),
+                    "row {i}, column {j}: non-finite coefficient after {ctx}"
+                );
+            }
+        }
+
+        assert_eq!(self.basis.len(), self.m, "basis length drifted after {ctx}");
+        let mut seen = vec![false; self.cols];
+        for (i, &b) in self.basis.iter().enumerate() {
+            assert!(
+                b < self.cols,
+                "row {i}: basic column {b} out of range after {ctx}"
+            );
+            assert!(!seen[b], "column {b} basic in two rows after {ctx}");
+            seen[b] = true;
+            assert_eq!(
+                self.basis_pos[b], i,
+                "basis_pos[{b}] disagrees with basis[{i}] after {ctx}"
+            );
+            let diag = self.rows[i].get(b);
+            assert!(
+                (diag - 1.0).abs() <= 1e-6,
+                "row {i}: basic column {b} has non-unit entry {diag} after {ctx}"
+            );
+        }
+        let n_basic = self.basis_pos.iter().filter(|&&p| p != usize::MAX).count();
+        assert_eq!(n_basic, self.m, "basic column count != m after {ctx}");
+        for (j, &p) in self.basis_pos.iter().enumerate() {
+            if p != usize::MAX {
+                assert_eq!(
+                    self.basis[p], j,
+                    "basis[{p}] disagrees with basis_pos[{j}] after {ctx}"
+                );
+            }
+        }
+
+        for j in 0..self.cols {
+            if self.basis_pos[j] == usize::MAX {
+                let v = self.nonbasic_value(j);
+                assert!(
+                    v.is_finite(),
+                    "nonbasic column {j} rests on a non-finite bound after {ctx}"
+                );
+            }
         }
     }
 
@@ -1402,5 +1518,62 @@ mod tests {
             solve_lp_epoch_warm(&other, &st).unwrap_err(),
             SolveError::BadModel(_)
         ));
+    }
+}
+
+#[cfg(all(test, feature = "check-invariants"))]
+mod invariant_tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+
+    // With the feature live, every pivot of these solves runs the full
+    // invariant suite; the tests just have to drive enough pivots
+    // through all three entry points (cold, bound warm, epoch warm).
+
+    fn production_model(rhs: [f64; 3]) -> Model {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.var("x", 0.0, 40.0);
+        let y = m.var("y", 0.0, 30.0);
+        let z = m.var("z", 0.0, 20.0);
+        let e = m.expr(&[(x, 1.0), (y, 2.0), (z, 1.0)]);
+        m.add_le(e, rhs[0]);
+        let e = m.expr(&[(x, 3.0), (y, 1.0)]);
+        m.add_le(e, rhs[1]);
+        let e = m.expr(&[(x, 1.0), (y, 1.0), (z, 3.0)]);
+        m.add_ge(e, rhs[2]);
+        let obj = m.expr(&[(x, 3.0), (y, 5.0), (z, 4.0)]);
+        m.set_objective(obj);
+        m
+    }
+
+    #[test]
+    fn invariants_hold_across_cold_and_warm_solves() {
+        let model = production_model([40.0, 60.0, 10.0]);
+        let (sol, st) = solve_lp_state(&model, &[], None).expect("cold solve");
+        assert!(sol.objective.is_finite());
+        st.assert_invariants("test readback");
+
+        // Branch-and-bound style bound tightening over the warm basis.
+        let x = VarId(0);
+        let (_, st2) = solve_lp_state(&model, &[(x, 0.0, 5.0)], Some(&st)).expect("warm solve");
+        st2.assert_invariants("warm readback");
+    }
+
+    #[test]
+    fn invariants_hold_across_epoch_resolves() {
+        let mut prev: Option<SimplexState> = None;
+        for step in 0..6 {
+            let bump = step as f64;
+            let model = production_model([40.0 + bump, 60.0 - 2.0 * bump, 10.0 + bump]);
+            let st = match prev.take() {
+                Some(p) => match solve_lp_epoch_warm(&model, &p) {
+                    Ok((_, st)) => st,
+                    Err(_) => solve_lp_state(&model, &[], None).expect("fallback").1,
+                },
+                None => solve_lp_state(&model, &[], None).expect("cold").1,
+            };
+            st.assert_invariants("epoch readback");
+            prev = Some(st);
+        }
     }
 }

@@ -18,10 +18,11 @@ pub struct Cdf {
 }
 
 impl Cdf {
-    /// Build a CDF from all samples.
+    /// Build a CDF from all samples. NaN samples sort after every finite
+    /// value (`total_cmp` order).
     pub fn of(values: &[f64]) -> Cdf {
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF input"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Cdf {
             sorted,
             excluded_zeros: 0,
@@ -33,7 +34,7 @@ impl Cdf {
     /// convention.
     pub fn of_nonzero(values: &[f64]) -> Cdf {
         let mut sorted: Vec<f64> = values.iter().copied().filter(|&v| v > 0.0).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF input"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let excluded_zeros = values.len() - sorted.len();
         Cdf {
             sorted,

@@ -42,7 +42,9 @@ pub fn coefficient_of_variation(values: &[f64]) -> f64 {
 }
 
 /// Percentile `p` in `[0, 100]` with linear interpolation between order
-/// statistics (the same convention as numpy's default).
+/// statistics (the same convention as numpy's default). NaN samples sort
+/// after every finite value (`total_cmp` order), so they only influence
+/// the top percentiles instead of aborting the run.
 ///
 /// # Panics
 /// Panics if `values` is empty or `p` is outside `[0, 100]`.
@@ -50,7 +52,7 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
     assert!(!values.is_empty(), "percentile of empty slice");
     assert!((0.0..=100.0).contains(&p), "percentile out of range");
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     percentile_of_sorted(&sorted, p)
 }
 
@@ -107,7 +109,7 @@ impl Summary {
     pub fn of(values: &[f64]) -> Summary {
         assert!(!values.is_empty(), "summary of empty slice");
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Summary {
             count: values.len(),
             mean: mean(values),
@@ -216,6 +218,24 @@ mod tests {
     #[should_panic(expected = "percentile out of range")]
     fn percentile_out_of_range_panics() {
         percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn nan_adjacent_readouts_sort_last_not_panic() {
+        // Regression for the total_cmp sweep: a NaN readout must not
+        // abort summarisation, and must land *after* every finite value
+        // (total_cmp order), pinning min/median to the finite samples.
+        let v = [3.0, f64::NAN, 1.0, 2.0];
+        let s = Summary::of(&v);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.p50, 2.5);
+        assert!(s.max.is_nan(), "NaN sorts greatest");
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        // Negative NaN sorts *before* -inf in total_cmp order.
+        let neg_nan = -f64::NAN;
+        let s = Summary::of(&[0.0, neg_nan, f64::NEG_INFINITY]);
+        assert!(s.min.is_nan());
+        assert_eq!(s.p50, f64::NEG_INFINITY);
     }
 
     #[test]

@@ -156,7 +156,7 @@ impl Catalog {
         match &self.measured[idx] {
             Some(data) => {
                 let want_start = start_day as u64 * 86_400;
-                let want_len = (days as usize) * 96;
+                let want_len = (days as usize) * crate::STEPS_PER_DAY;
                 assert_eq!(
                     data.interval_secs,
                     crate::INTERVAL_15M,

@@ -38,8 +38,8 @@ impl Horizon {
     pub fn lead_samples(self) -> usize {
         match self {
             Horizon::Hours3 => 12,
-            Horizon::DayAhead => 96,
-            Horizon::WeekAhead => 7 * 96,
+            Horizon::DayAhead => crate::STEPS_PER_DAY,
+            Horizon::WeekAhead => crate::WEEK_AHEAD_STEPS,
         }
     }
 

@@ -61,6 +61,15 @@ use vb_stats::TimeSeries;
 /// Default sampling interval: 15 minutes, matching the ELIA dataset.
 pub const INTERVAL_15M: u64 = 900;
 
+/// Samples per day at the 15-minute interval (24 h × 4). The canonical
+/// horizon constant: every `96` in the workspace must trace back here or
+/// to [`DAY_AHEAD_STEPS`] (enforced by vb-audit's `horizon-literal`
+/// lint).
+pub const STEPS_PER_DAY: usize = 96;
+
+/// Steps in a week-ahead horizon (7 × [`STEPS_PER_DAY`]).
+pub const WEEK_AHEAD_STEPS: usize = 7 * STEPS_PER_DAY;
+
 /// Generate a normalized (0..=1 of peak capacity) generation trace for a
 /// site over `days` days starting at `start_day` (day-of-year, 0-based),
 /// using a site-specific stream of the global `seed`.

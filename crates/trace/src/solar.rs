@@ -88,8 +88,8 @@ impl SolarModel {
         days: u32,
         field: &WeatherField,
     ) -> TimeSeries {
-        let n = (days * 96) as usize;
-        let t0 = start_day as i64 * 96;
+        let n = days as usize * crate::STEPS_PER_DAY;
+        let t0 = start_day as i64 * crate::STEPS_PER_DAY as i64;
 
         // Slow daily driver (sampled once per day at local noon) decides
         // the regime; fast noise shapes within-day transmittance.
@@ -101,8 +101,10 @@ impl SolarModel {
         #[allow(clippy::needless_range_loop)] // k indexes two driver arrays
         for k in 0..n {
             let abs_sample = t0 + k as i64;
-            let day_of_year = (abs_sample.div_euclid(96)).rem_euclid(365) as u32;
-            let hour_utc = (abs_sample.rem_euclid(96)) as f64 * 0.25;
+            let steps_per_day = crate::STEPS_PER_DAY as i64;
+            let day_of_year = (abs_sample.div_euclid(steps_per_day)).rem_euclid(365) as u32;
+            let hour_utc =
+                (abs_sample.rem_euclid(steps_per_day)) as f64 * 24.0 / crate::STEPS_PER_DAY as f64;
 
             let elev = sin_elevation(site.lat, site.lon, day_of_year, hour_utc);
             if elev <= 0.0 {
@@ -111,7 +113,7 @@ impl SolarModel {
             }
 
             // Regime from the daily driver, held constant within the day.
-            let day_index = (k / 96) * 96; // first sample of this day
+            let day_index = (k / crate::STEPS_PER_DAY) * crate::STEPS_PER_DAY; // first sample of this day
             let regime = self.classify(daily[day_index]);
             let trans = self.transmittance(regime, fast[k], daily[day_index]);
 

@@ -114,7 +114,7 @@ impl WeatherField {
 
         let corr_km = channel.correlation_km();
         let samples_per_degree = if channel.advected() {
-            96.0 / ADVECTION_DEG_PER_DAY
+            crate::STEPS_PER_DAY as f64 / ADVECTION_DEG_PER_DAY
         } else {
             0.0
         };

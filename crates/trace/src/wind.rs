@@ -77,8 +77,8 @@ impl WindModel {
         days: u32,
         field: &WeatherField,
     ) -> TimeSeries {
-        let n = (days * 96) as usize;
-        let t0 = start_day as i64 * 96;
+        let n = days as usize * crate::STEPS_PER_DAY;
+        let t0 = start_day as i64 * crate::STEPS_PER_DAY as i64;
 
         // Warm the OU integration up from well before the window so the
         // speed at any absolute instant is independent of the window
@@ -92,7 +92,8 @@ impl WindModel {
         let mut values = Vec::with_capacity(n);
         let mut v = self.regime_mean(regime[0], start_day);
         for k in 0..total {
-            let day_of_year = ((gen_start + k as i64).div_euclid(96)).rem_euclid(365) as u32;
+            let day_of_year = ((gen_start + k as i64).div_euclid(crate::STEPS_PER_DAY as i64))
+                .rem_euclid(365) as u32;
             let mu = self.regime_mean(regime[k], day_of_year);
             v += self.reversion * (mu - v) + self.gust_sigma * gusts[k];
             v = v.max(0.0);

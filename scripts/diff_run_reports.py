@@ -25,20 +25,31 @@ EXCLUDED_EVENT_FIELDS = {"elapsed_secs"}
 
 
 def load(path):
+    # A missing or empty report means the bench never ran (or wrote
+    # nowhere) — that must be a hard failure, not a vacuous "match".
     events = []
     summary = None
-    with open(path) as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
+    try:
+        with open(path) as fh:
+            text = fh.read()
+    except OSError as err:
+        sys.exit(f"error: cannot read run report {path}: {err}")
+    if not text.strip():
+        sys.exit(f"error: run report {path} is empty")
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
             obj = json.loads(line)
-            if obj.get("type") == "summary":
-                summary = obj
-            else:
-                events.append(obj)
+        except json.JSONDecodeError as err:
+            sys.exit(f"error: {path}:{lineno}: malformed JSON: {err}")
+        if obj.get("type") == "summary":
+            summary = obj
+        else:
+            events.append(obj)
     if summary is None:
-        sys.exit(f"{path}: no summary line found")
+        sys.exit(f"error: {path}: no summary line found")
     return events, summary
 
 
@@ -101,7 +112,16 @@ def main():
 
     if not ok:
         sys.exit(1)
-    print("run reports match (timings and worker counts excluded)")
+
+    # A "match" between two reports with nothing left after filtering
+    # would certify nothing — treat it as a broken harness.
+    compared = sum(len(fa[section]) for section in fa) + len(ea)
+    if compared == 0:
+        sys.exit("error: no comparable metrics or events after exclusions")
+    print(
+        f"run reports match ({compared} metrics/events compared; "
+        "timings and worker counts excluded)"
+    )
 
 
 if __name__ == "__main__":

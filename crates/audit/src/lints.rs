@@ -272,6 +272,7 @@ fn metric_call_sites(code: &str, with_strings: &str) -> Vec<(&'static str, Strin
         ("histogram!(", "histograms"),
         ("span!(", "spans"),
         ("vb_telemetry::event(", "events"),
+        ("series_sample(", "series"),
     ];
     let code_chars: Vec<char> = code.chars().collect();
     let ws_chars: Vec<char> = with_strings.chars().collect();

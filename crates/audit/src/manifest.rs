@@ -13,7 +13,7 @@
 //! ```
 //!
 //! Section names are the metric kinds (`counters`, `float_counters`,
-//! `gauges`, `histograms`, `spans`, `events`); keys are the declared
+//! `gauges`, `histograms`, `spans`, `events`, `series`); keys are the declared
 //! metric names. Every telemetry call site in the workspace must name a
 //! metric declared under the matching kind.
 
@@ -27,6 +27,7 @@ pub const KINDS: &[&str] = &[
     "histograms",
     "spans",
     "events",
+    "series",
 ];
 
 /// Parsed manifest: kind → set of declared metric names.

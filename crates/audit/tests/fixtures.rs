@@ -23,6 +23,9 @@ const FIXTURE_MANIFEST: &str = r#"
 
 [events]
 "fixture.done" = "done"
+
+[series]
+"fixture.step_series" = "per-step series"
 "#;
 
 fn audit(name: &str, spec: FileSpec) -> Vec<Finding> {
@@ -122,6 +125,41 @@ fn metric_name_positive() {
 #[test]
 fn metric_name_negative() {
     let findings = audit("metric_ok.rs", FileSpec::default());
+    assert_eq!(findings, [], "expected clean, got: {findings:#?}");
+}
+
+#[test]
+fn span_name_positive() {
+    let findings = audit("span_bad.rs", FileSpec::default());
+    assert_eq!(
+        lints(&findings),
+        ["metric-name", "metric-name", "metric-name"]
+    );
+    assert_eq!(findings[0].line, 6, "undeclared span");
+    assert!(
+        findings[0].message.contains("fixture.undeclared_span"),
+        "undeclared span: {}",
+        findings[0]
+    );
+    assert_eq!(findings[1].line, 7, "span name used as a series");
+    assert!(
+        findings[1].message.contains("[series]"),
+        "kind mismatch names the expected kind: {}",
+        findings[1]
+    );
+    assert_eq!(findings[2].line, 8, "non-dot.snake span");
+    assert!(
+        findings[2].message.contains("FixtureStep"),
+        "non-dot.snake span name: {}",
+        findings[2]
+    );
+}
+
+#[test]
+fn span_name_negative() {
+    // Declared span and series names, plus a span call inside a string
+    // literal that must not register as a call site.
+    let findings = audit("span_ok.rs", FileSpec::default());
     assert_eq!(findings, [], "expected clean, got: {findings:#?}");
 }
 

@@ -1,0 +1,9 @@
+//! Positive fixture: an undeclared span name, a series name declared
+//! under [spans] rather than [series] (kind mismatch), and a
+//! non-dot.snake span name.
+
+pub fn step(epoch: u64) {
+    let _span = vb_telemetry::span!("fixture.undeclared_span");
+    vb_telemetry::series_sample("fixture.step", "policy-a", epoch, &[("gb", 1.0)]);
+    let _bad = vb_telemetry::span!("FixtureStep");
+}

@@ -1,0 +1,10 @@
+//! Negative fixture: trace spans and series samples using declared
+//! names under their declared kinds.
+
+pub fn step(epoch: u64, gb: f64) {
+    let _span = vb_telemetry::span!("fixture.step");
+    vb_telemetry::series_sample("fixture.step_series", "policy-a", epoch, &[("gb", gb)]);
+    // A span name mentioned only inside a string literal never counts
+    // as a call site: "span!(\"fixture.not_a_call\")".
+    let _doc = "span!(\"fixture.not_a_call\")";
+}

@@ -91,17 +91,30 @@ fn main() {
     let models: Vec<Model> = (0..EPOCHS).map(epoch_model).collect();
 
     // Cold path: every epoch solved from scratch (B&B children still
-    // warm-start from their parents — that part is shared).
+    // warm-start from their parents — that part is shared). The bench is
+    // single-threaded, so per-epoch pivot deltas off the global counter
+    // are exact — they go into the `solver.epoch_series` so a regression
+    // can be pinned to the epoch that blew the pivot budget.
     let p0 = pivots_now();
     let t0 = Instant::now();
-    let cold_obj: Vec<f64> = models
-        .iter()
-        .map(|m| {
-            solve_mip_bounded_with(m, MAX_NODES, true)
-                .expect("placement epochs are feasible")
-                .objective
-        })
-        .collect();
+    let mut cold_obj: Vec<f64> = Vec::with_capacity(EPOCHS);
+    for (e, m) in models.iter().enumerate() {
+        let ep = pivots_now();
+        let et = Instant::now();
+        let sol =
+            solve_mip_bounded_with(m, MAX_NODES, true).expect("placement epochs are feasible");
+        vb_telemetry::series_sample(
+            "solver.epoch_series",
+            "cold",
+            e as u64,
+            &[
+                ("pivots", (pivots_now() - ep) as f64),
+                ("secs", et.elapsed().as_secs_f64()),
+                ("objective", sol.objective),
+            ],
+        );
+        cold_obj.push(sol.objective);
+    }
     let cold_secs = t0.elapsed().as_secs_f64();
     let cold_pivots = pivots_now() - p0;
 
@@ -110,16 +123,27 @@ fn main() {
     let t1 = Instant::now();
     let mut cache: Option<EpochCache> = None;
     let mut warm_hits = 0usize;
-    let warm_obj: Vec<f64> = models
-        .iter()
-        .map(|m| {
-            let (sol, next, hit) = solve_mip_epoch(m, MAX_NODES, cache.as_ref())
-                .expect("placement epochs are feasible");
-            cache = Some(next);
-            warm_hits += hit as usize;
-            sol.objective
-        })
-        .collect();
+    let mut warm_obj: Vec<f64> = Vec::with_capacity(EPOCHS);
+    for (e, m) in models.iter().enumerate() {
+        let ep = pivots_now();
+        let et = Instant::now();
+        let (sol, next, hit) =
+            solve_mip_epoch(m, MAX_NODES, cache.as_ref()).expect("placement epochs are feasible");
+        cache = Some(next);
+        warm_hits += hit as usize;
+        vb_telemetry::series_sample(
+            "solver.epoch_series",
+            "warm",
+            e as u64,
+            &[
+                ("pivots", (pivots_now() - ep) as f64),
+                ("secs", et.elapsed().as_secs_f64()),
+                ("objective", sol.objective),
+                ("warm_hit", hit as u64 as f64),
+            ],
+        );
+        warm_obj.push(sol.objective);
+    }
     let warm_secs = t1.elapsed().as_secs_f64();
     let warm_pivots = pivots_now() - p1;
 

@@ -67,6 +67,17 @@ pub fn run(seed: u64) -> Fig4Report {
             let outs = out.out_gb();
             let ins = out.in_gb();
             let all: Vec<f64> = outs.iter().zip(&ins).map(|(a, b)| a + b).collect();
+            // Per-interval WAN busy series: when the link was saturated,
+            // not just how often on average (§5's headline number).
+            let (busy_secs, _carry) = wan.busy_profile(&all, 900.0);
+            for (interval, busy) in busy_secs.iter().enumerate() {
+                vb_telemetry::series_sample(
+                    "net.wan_interval",
+                    label,
+                    interval as u64,
+                    &[("busy_fraction", busy / 900.0), ("total_gb", all[interval])],
+                );
+            }
             let out_cdf = Cdf::of_nonzero(&outs);
             let in_cdf = Cdf::of_nonzero(&ins);
             SourceOverhead {

@@ -30,8 +30,9 @@ impl BenchRun {
         }
     }
 
-    /// Finish the run: capture the telemetry report, write it as JSONL,
-    /// and print the one-line completion notice (plus the full metric
+    /// Finish the run: capture the telemetry report, write it as JSONL
+    /// plus a Chrome trace (`<name>.trace.json`, Perfetto-loadable), and
+    /// print the one-line completion notice (plus the full metric
     /// summary when `VB_RUN_REPORT=1`).
     pub fn finish(self) {
         let elapsed = self.t0.elapsed().as_secs_f64();
@@ -44,31 +45,63 @@ impl BenchRun {
         );
         let report = RunReport::capture(self.name);
         let written = write_jsonl(&report);
+        let trace = write_trace(self.name);
         if verbose() {
             print_summary(&report);
         }
         match written {
             Some(path) => println!(
-                "\n[{} completed in {elapsed:.1}s — report: {path} ({} events)]",
+                "\n[{} completed in {elapsed:.1}s — report: {path} ({} events, {} series)]",
                 self.name,
-                report.events.len()
+                report.events.len(),
+                report.series.len()
             ),
             None => println!("\n[{} completed in {elapsed:.1}s]", self.name),
         }
+        if let Some((path, spans, drops)) = trace {
+            println!("[trace: {path} ({spans} spans, {drops} dropped)]");
+        }
     }
+}
+
+/// Drain the trace timeline and write it as Chrome trace-event JSON next
+/// to the JSONL report. Returns `(path, span count, dropped events)`;
+/// `None` when tracing is off, recording is empty, or reports are
+/// disabled via `VB_REPORT_DIR=`.
+fn write_trace(name: &str) -> Option<(String, usize, u64)> {
+    let events = vb_telemetry::trace_events();
+    if events.is_empty() {
+        return None;
+    }
+    let dir = report_dir()?;
+    let path = format!("{dir}/{name}.trace.json");
+    std::fs::create_dir_all(&dir).ok()?;
+    std::fs::write(&path, vb_telemetry::chrome_trace_json(&events)).ok()?;
+    let spans = events
+        .iter()
+        .filter(|e| e.phase == vb_telemetry::TracePhase::Begin)
+        .count();
+    Some((path, spans, vb_telemetry::trace_drops()))
 }
 
 fn verbose() -> bool {
     std::env::var("VB_RUN_REPORT").is_ok_and(|v| v == "1")
 }
 
-/// Write the JSONL report under `VB_REPORT_DIR` (default
-/// `target/run-reports`); empty string disables the file.
-fn write_jsonl(report: &RunReport) -> Option<String> {
+/// Report directory: `VB_REPORT_DIR` (default `target/run-reports`);
+/// empty string disables report files entirely.
+fn report_dir() -> Option<String> {
     let dir = std::env::var("VB_REPORT_DIR").unwrap_or_else(|_| "target/run-reports".into());
     if dir.is_empty() {
-        return None;
+        None
+    } else {
+        Some(dir)
     }
+}
+
+/// Write the JSONL report under [`report_dir`].
+fn write_jsonl(report: &RunReport) -> Option<String> {
+    let dir = report_dir()?;
     let path = format!("{dir}/{}.jsonl", report.name);
     std::fs::create_dir_all(&dir).ok()?;
     std::fs::write(&path, report.to_jsonl()).ok()?;

@@ -208,6 +208,86 @@ fn epoch_warm_starts_cut_pivots_with_identical_schedules() {
     });
 }
 
+/// Cross-thread span nesting: the causal span *tree* recorded for a
+/// `vb-par` fan-out must be identical at any thread count once thread
+/// ids, timestamps and the executor's own `par.busy` wrapper spans are
+/// normalized away. This is what makes trace timelines trustworthy — a
+/// 4-thread trace shows the same causality as the sequential reference.
+#[cfg(feature = "telemetry")]
+#[test]
+fn span_forests_bit_match_across_thread_counts() {
+    use std::collections::HashMap;
+    use vb_telemetry::{TraceEvent, TracePhase};
+
+    fn workload() -> Vec<TraceEvent> {
+        vb_telemetry::reset();
+        {
+            let _root = vb_telemetry::span!("treetest.root");
+            let _results = vb_par::par_map(6, |i| {
+                let _task = vb_telemetry::span!("treetest.task");
+                if i % 2 == 0 {
+                    let _inner = vb_telemetry::span!("treetest.inner");
+                }
+                i
+            });
+        }
+        let events = vb_telemetry::trace_events();
+        assert_eq!(vb_telemetry::trace_drops(), 0, "no ring-buffer drops");
+        events
+    }
+
+    /// Canonical forest form: children sorted recursively, `par.busy`
+    /// nodes collapsed (their children splice into the parent — the
+    /// worker count is thread-count-dependent by design).
+    fn forest(events: &[TraceEvent]) -> String {
+        let mut kids: HashMap<u64, Vec<(u64, &'static str)>> = HashMap::new();
+        let mut roots: Vec<(u64, &'static str)> = Vec::new();
+        for e in events.iter().filter(|e| e.phase == TracePhase::Begin) {
+            if e.parent == 0 {
+                roots.push((e.id, e.name));
+            } else {
+                kids.entry(e.parent).or_default().push((e.id, e.name));
+            }
+        }
+        fn form(id: u64, name: &str, kids: &HashMap<u64, Vec<(u64, &'static str)>>) -> Vec<String> {
+            let mut child_forms: Vec<String> = Vec::new();
+            for &(cid, cname) in kids.get(&id).map(Vec::as_slice).unwrap_or_default() {
+                child_forms.extend(form(cid, cname, kids));
+            }
+            child_forms.sort();
+            if name == "par.busy" {
+                child_forms
+            } else {
+                vec![format!("{name}({})", child_forms.join(","))]
+            }
+        }
+        let mut out: Vec<String> = Vec::new();
+        for &(id, name) in &roots {
+            out.extend(form(id, name, &kids));
+        }
+        out.sort();
+        out.join(";")
+    }
+
+    let single = vb_par::with_threads(1, workload);
+    let multi = vb_par::with_threads(4, workload);
+
+    let tids: std::collections::HashSet<u64> = multi.iter().map(|e| e.tid).collect();
+    assert!(
+        tids.len() > 1,
+        "4-thread run must actually record from multiple threads"
+    );
+    let expected = "treetest.root(treetest.task(),treetest.task(),treetest.task(),\
+                    treetest.task(treetest.inner()),treetest.task(treetest.inner()),\
+                    treetest.task(treetest.inner()))";
+    assert_eq!(forest(&single), expected, "sequential reference tree");
+    assert_eq!(
+        forest(&multi),
+        forest(&single),
+        "span forest diverged between 1 and 4 threads"
+    );
+}
+
 #[test]
 fn pair_sweep_bit_matches_sequential() {
     let catalog = Catalog::europe(42);

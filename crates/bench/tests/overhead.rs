@@ -1,0 +1,85 @@
+//! Telemetry overhead guard: a traced short Table-1 run must stay
+//! within a generous bound of the same run with trace recording
+//! switched off, and the default ring-buffer capacity must hold a
+//! paper-sized run without dropping a single event.
+//!
+//! Recording is toggled at runtime (`set_trace_enabled`) rather than by
+//! recompiling — the closest in-process proxy for the
+//! `--no-default-features` build, which cannot be measured from inside a
+//! telemetry-enabled binary.
+#![cfg(feature = "telemetry")]
+
+use std::time::Instant;
+use vb_bench::table1;
+use vb_sched::GroupSimConfig;
+
+#[test]
+fn traced_table1_run_is_cheap_and_lossless() {
+    let names = ["NO-solar", "UK-wind", "PT-wind"];
+    let cfg = || GroupSimConfig {
+        days: 2,
+        ..GroupSimConfig::default()
+    };
+
+    // One scope: the test toggles process-global trace state and reads
+    // the process-global registry.
+    vb_par::with_threads(4, || {
+        // Warm-up so allocator and page-cache effects hit neither side.
+        vb_telemetry::reset();
+        let _ = table1::run_on_group_with(7, &names, cfg());
+
+        let time_run = |trace_on: bool| {
+            vb_telemetry::set_trace_enabled(trace_on);
+            let mut best = f64::INFINITY;
+            for _ in 0..2 {
+                vb_telemetry::reset();
+                let t = Instant::now();
+                let _ = table1::run_on_group_with(7, &names, cfg());
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+            best
+        };
+
+        let traced_secs = time_run(true);
+
+        // The run that just finished is still in the global stores:
+        // losslessness and series coverage are asserted on it.
+        assert_eq!(
+            vb_telemetry::trace_drops(),
+            0,
+            "default trace capacity must hold a paper-sized run"
+        );
+        let events = vb_telemetry::trace_events();
+        assert!(!events.is_empty(), "traced run records a timeline");
+
+        let step_series: Vec<_> = vb_telemetry::series_snapshot()
+            .into_iter()
+            .filter(|s| s.name == "sched.step_series")
+            .collect();
+        assert!(
+            step_series.len() >= 2,
+            "every policy records its own series instance"
+        );
+        for s in &step_series {
+            let expected: Vec<u64> = (0..2 * 96).collect();
+            assert_eq!(
+                s.epochs, expected,
+                "{}/{}: series must cover every simulated step",
+                s.name, s.instance
+            );
+        }
+
+        let untraced_secs = time_run(false);
+        vb_telemetry::set_trace_enabled(true);
+        vb_telemetry::reset();
+
+        // Generous: per-span trace cost is ~100ns against multi-ms
+        // steps; 3x + 250ms absorbs scheduler noise on loaded CI hosts
+        // while still catching anything pathological (locks on the hot
+        // path, unbounded flushing).
+        assert!(
+            traced_secs <= 3.0 * untraced_secs + 0.25,
+            "tracing overhead out of bounds: traced {traced_secs:.3}s vs untraced {untraced_secs:.3}s"
+        );
+    });
+}

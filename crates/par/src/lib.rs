@@ -33,8 +33,10 @@
 //!
 //! **Telemetry.** `par.tasks` / `par.workers` counters, a
 //! `par.worker_tasks` histogram (work-sharing balance across workers)
-//! and `par.busy` spans; all compile out with the workspace-wide
-//! `telemetry` feature.
+//! and `par.busy` spans. Each fan-out also captures the caller's trace
+//! context and adopts it on every worker, so worker span timelines nest
+//! under the span that launched the `par_map`. All of it compiles out
+//! with the workspace-wide `telemetry` feature.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -181,6 +183,10 @@ where
     // disjoint, so reassembling them in start order restores exactly the
     // sequential output.
     let cursor = AtomicUsize::new(0);
+    // Carry the caller's open span into every worker so their `par.busy`
+    // spans (and everything the tasks open) nest under the fan-out point
+    // in trace timelines.
+    let trace_ctx = vb_telemetry::trace_context();
     let mut chunks: Vec<(usize, Vec<T>)> = Vec::with_capacity(n.div_ceil(chunk));
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
@@ -188,6 +194,7 @@ where
                 let cursor = &cursor;
                 let f = &f;
                 scope.spawn(move || {
+                    let _trace = vb_telemetry::adopt_trace(trace_ctx);
                     let _span = vb_telemetry::span!("par.busy");
                     let mut mine: Vec<(usize, Vec<T>)> = Vec::new();
                     let mut tasks = 0u64;

@@ -462,8 +462,9 @@ impl Policy for MipPolicy {
                 .map(|a| Assignment { app: a.id, site: 0 })
                 .collect();
         }
-        match self.solve(ctx) {
-            Ok(plan) => plan,
+        let warm_hits_before = self.stats.epoch_warm_hits;
+        let (plan, fell_back) = match self.solve(ctx) {
+            Ok(plan) => (plan, 0.0),
             Err(_) => {
                 self.stats.fallback_epochs += 1;
                 vb_telemetry::counter!("sched.mip_fallbacks").inc();
@@ -474,9 +475,23 @@ impl Policy for MipPolicy {
                         ("epoch_step", ctx.now.into()),
                     ],
                 );
-                self.fallback.plan(ctx)
+                (self.fallback.plan(ctx), 1.0)
             }
-        }
+        };
+        vb_telemetry::series_sample(
+            "sched.mip_epoch",
+            self.cfg.name.as_str(),
+            ctx.now,
+            &[
+                ("moves_planned", plan.len() as f64),
+                (
+                    "warm_hit",
+                    (self.stats.epoch_warm_hits - warm_hits_before) as f64,
+                ),
+                ("fallback", fell_back),
+            ],
+        );
+        plan
     }
 }
 

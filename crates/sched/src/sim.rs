@@ -406,6 +406,28 @@ impl GroupSim {
             vb_telemetry::float_counter!("sched.stranded_gb").add(stats.stranded_gb);
             vb_telemetry::gauge!("sched.queued_apps").set(stats.queued_apps as f64);
             vb_telemetry::histogram!("sched.step_transfer_gb").observe(stats.transfer_gb);
+            // Per-site shortfall, not the group-level difference: surplus
+            // at one site cannot power another, so only positive per-site
+            // deficits count.
+            let power_deficit_cores: u64 = self
+                .sites
+                .iter()
+                .map(|s| (s.allocated_cores as u64).saturating_sub(s.budget_cores as u64))
+                .sum();
+            vb_telemetry::series_sample(
+                "sched.step_series",
+                policy.name(),
+                step,
+                &[
+                    ("transfer_gb", stats.transfer_gb),
+                    ("move_gb", stats.move_gb),
+                    ("queued_apps", stats.queued_apps as f64),
+                    ("hibernated_apps", stats.hibernated_apps as f64),
+                    ("power_deficit_cores", power_deficit_cores as f64),
+                    ("allocated_cores", stats.allocated_cores as f64),
+                    ("budget_cores", stats.budget_cores as f64),
+                ],
+            );
             steps.push(stats);
         }
         let summary = PolicySummary::from_steps(

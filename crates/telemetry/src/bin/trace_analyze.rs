@@ -1,0 +1,72 @@
+//! Analyze a Chrome trace file written by the bench harness:
+//! per-phase wall-clock breakdown plus the top-k slowest spans.
+//!
+//! ```text
+//! cargo run -p vb-telemetry --bin trace_analyze -- \
+//!     target/run-reports/table1_policies.trace.json --span sched.sim_step --top 10
+//! ```
+
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: trace_analyze <trace.json> [--span NAME] [--top K]\n\
+    \n\
+    --span NAME  rank the K slowest spans of this name (default sched.sim_step;\n\
+    \x20            pass an empty string to rank across all names)\n\
+    --top K      how many slow spans to list (default 10)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut focus = "sched.sim_step".to_string();
+    let mut top = 10usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--span" => match it.next() {
+                Some(v) => focus = v.clone(),
+                None => return usage_error("--span needs a value"),
+            },
+            "--top" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) => top = v,
+                None => return usage_error("--top needs an integer"),
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() && !other.starts_with('-') => {
+                path = Some(other.to_string());
+            }
+            other => return usage_error(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let Some(path) = path else {
+        return usage_error("missing trace file path");
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(err) => {
+            eprintln!("error: cannot read {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spans = match vb_telemetry::parse_chrome_trace(&text) {
+        Ok(s) => s,
+        Err(err) => {
+            eprintln!("error: {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if spans.is_empty() {
+        eprintln!("error: {path}: no spans in trace");
+        return ExitCode::FAILURE;
+    }
+    println!("{path}: {} spans", spans.len());
+    print!("{}", vb_telemetry::render_analysis(&spans, &focus, top));
+    ExitCode::SUCCESS
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n{USAGE}");
+    ExitCode::FAILURE
+}

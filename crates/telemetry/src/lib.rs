@@ -14,6 +14,17 @@
 //!   planned, a figure completed); [`RunReport::capture`] bundles the
 //!   event stream with a full metric snapshot and serializes to JSONL
 //!   that [`RunReport::parse_jsonl`] reads back.
+//! * **Trace timelines** — every [`span!`] also records begin/end events
+//!   with span/parent/thread ids into per-thread buffers; [`trace_events`]
+//!   drains them and [`chrome_trace_json`] exports Perfetto-loadable
+//!   Chrome trace JSON. [`trace_context`]/[`adopt_trace`] carry causality
+//!   across `vb-par` worker threads. See [`trace`].
+//! * **Metric series** — [`series_sample`] appends per-epoch rows to a
+//!   compact columnar buffer keyed by `(name, instance)`, embedded in
+//!   the run report for step-by-step inspection. See [`series`].
+//! * **Trace analysis** — [`analyze`] parses a Chrome trace back into
+//!   spans and prints per-phase wall-clock breakdowns and top-k slowest
+//!   spans (also available as the `trace_analyze` binary).
 //!
 //! ## Compile-out
 //!
@@ -32,11 +43,20 @@
 //! assert_eq!(report, back);
 //! ```
 
+pub mod analyze;
 pub mod report;
+pub mod series;
 mod snapshot;
+pub mod trace;
 
+pub use analyze::{parse_chrome_trace, phase_breakdown, render_analysis, PhaseStat, TraceSpan};
 pub use report::{Event, Json, RunReport};
+pub use series::{series_sample, series_snapshot, SeriesData};
 pub use snapshot::{HistogramSnapshot, Snapshot, SpanStat};
+pub use trace::{
+    adopt_trace, chrome_trace_json, set_trace_enabled, trace_context, trace_drops, trace_enabled,
+    trace_events, TraceAdoptGuard, TraceContext, TraceEvent, TracePhase,
+};
 
 #[cfg(feature = "telemetry")]
 mod metrics;

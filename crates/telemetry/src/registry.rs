@@ -165,9 +165,12 @@ pub fn events() -> Vec<Event> {
     global().events()
 }
 
-/// Reset the global registry (between runs — see [`Registry::reset`]).
+/// Reset the global registry, recorded series, and trace timeline
+/// (between runs — see [`Registry::reset`]).
 pub fn reset() {
     global().reset();
+    crate::series::reset_series();
+    crate::trace::reset_trace();
 }
 
 #[cfg(test)]

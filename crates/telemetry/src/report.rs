@@ -5,6 +5,7 @@
 //! one recursive-descent parser) to keep the crate dependency-free; the
 //! workspace policy is "no serde_json".
 
+use crate::series::SeriesData;
 use crate::snapshot::{HistogramSnapshot, Snapshot, SpanStat};
 use std::fmt::Write as _;
 
@@ -433,31 +434,39 @@ impl Event {
     }
 }
 
-/// A complete run report: name, event stream, and final metric snapshot.
+/// A complete run report: name, event stream, per-epoch metric series,
+/// and final metric snapshot.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunReport {
     pub name: String,
     pub events: Vec<Event>,
+    pub series: Vec<SeriesData>,
     pub snapshot: Snapshot,
 }
 
 impl RunReport {
-    /// Bundle the global registry's current events and metrics under
-    /// `name`. With the `telemetry` feature off this returns an empty
-    /// report.
+    /// Bundle the global registry's current events, recorded series and
+    /// metrics under `name`. With the `telemetry` feature off this
+    /// returns an empty report.
     pub fn capture(name: &str) -> RunReport {
         RunReport {
             name: name.to_string(),
             events: crate::events(),
+            series: crate::series_snapshot(),
             snapshot: crate::snapshot(),
         }
     }
 
-    /// Serialize as JSONL: one line per event, then one `summary` line.
+    /// Serialize as JSONL: one line per event, one line per series, then
+    /// one `summary` line.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for event in &self.events {
             out.push_str(&event.to_json().emit());
+            out.push('\n');
+        }
+        for series in &self.series {
+            out.push_str(&series_json(series).emit());
             out.push('\n');
         }
         out.push_str(&self.summary_json().emit());
@@ -541,14 +550,21 @@ impl RunReport {
     }
 
     /// Parse a JSONL document produced by [`RunReport::to_jsonl`].
+    ///
+    /// Tolerant of blank / whitespace-only lines, CRLF line endings, and
+    /// a missing final newline; a report with zero events (just series
+    /// and/or the summary line) round-trips like any other.
     pub fn parse_jsonl(text: &str) -> Result<RunReport, ParseError> {
         let mut report = RunReport::default();
         let mut saw_summary = false;
         let mut offset = 0;
-        for line in text.lines() {
+        for line in text.split('\n') {
             let line_offset = offset;
+            // `+ 1` for the split-off '\n'; the final segment has none,
+            // so clamp when reporting end-of-input errors below.
             offset += line.len() + 1;
-            if line.trim().is_empty() {
+            let line = line.trim();
+            if line.is_empty() {
                 continue;
             }
             let value = Json::parse(line).map_err(|mut e| {
@@ -566,6 +582,12 @@ impl RunReport {
                     }
                     report.events.push(Event::from_json(&value, line_offset)?);
                 }
+                Some("series") => {
+                    if saw_summary {
+                        return Err(invalid("series after summary line"));
+                    }
+                    report.series.push(parse_series(&value, line_offset)?);
+                }
                 Some("summary") => {
                     if saw_summary {
                         return Err(invalid("duplicate summary line"));
@@ -578,17 +600,89 @@ impl RunReport {
                         .to_string();
                     report.snapshot = parse_snapshot(&value, line_offset)?;
                 }
-                _ => return Err(invalid("line is neither event nor summary")),
+                _ => return Err(invalid("line is neither event, series nor summary")),
             }
         }
         if !saw_summary {
             return Err(ParseError {
                 message: "missing summary line".to_string(),
-                offset,
+                offset: offset.min(text.len()),
             });
         }
         Ok(report)
     }
+}
+
+fn series_json(s: &SeriesData) -> Json {
+    Json::Obj(vec![
+        ("type".into(), Json::from("series")),
+        ("name".into(), Json::Str(s.name.clone())),
+        ("instance".into(), Json::Str(s.instance.clone())),
+        (
+            "epochs".into(),
+            Json::Arr(s.epochs.iter().map(|&e| Json::from(e)).collect()),
+        ),
+        (
+            "columns".into(),
+            Json::Obj(
+                s.columns
+                    .iter()
+                    .map(|(c, vals)| {
+                        (
+                            c.clone(),
+                            Json::Arr(vals.iter().map(|&v| Json::Num(v)).collect()),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn parse_series(value: &Json, offset: usize) -> Result<SeriesData, ParseError> {
+    let invalid = |msg: &str| ParseError {
+        message: msg.to_string(),
+        offset,
+    };
+    let text_field = |key: &str| -> Result<String, ParseError> {
+        value
+            .get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| invalid(&format!("series missing {key}")))
+    };
+    let epochs = match value.get("epochs") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|i| i.as_u64().ok_or_else(|| invalid("bad series epoch")))
+            .collect::<Result<Vec<u64>, ParseError>>()?,
+        _ => return Err(invalid("series missing epochs")),
+    };
+    let mut columns = Vec::new();
+    match value.get("columns") {
+        Some(Json::Obj(fields)) => {
+            for (name, vals) in fields {
+                let vals = match vals {
+                    Json::Arr(items) => items
+                        .iter()
+                        .map(|i| i.as_f64().ok_or_else(|| invalid("bad series value")))
+                        .collect::<Result<Vec<f64>, ParseError>>()?,
+                    _ => return Err(invalid("series column is not an array")),
+                };
+                if vals.len() != epochs.len() {
+                    return Err(invalid("series column length != epoch count"));
+                }
+                columns.push((name.clone(), vals));
+            }
+        }
+        _ => return Err(invalid("series missing columns")),
+    }
+    Ok(SeriesData {
+        name: text_field("name")?,
+        instance: text_field("instance")?,
+        epochs,
+        columns,
+    })
 }
 
 fn parse_snapshot(value: &Json, offset: usize) -> Result<Snapshot, ParseError> {

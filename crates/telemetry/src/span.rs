@@ -17,21 +17,27 @@ thread_local! {
 }
 
 /// Guard returned by [`span!`](crate::span!); records the elapsed time
-/// for `name` when dropped.
+/// for `name` when dropped, and (when trace recording is on) a
+/// begin/end pair in the causal timeline — see [`crate::trace`].
 #[must_use = "a span guard times its scope; bind it with `let _span = ...`"]
 #[derive(Debug)]
 pub struct SpanGuard {
     name: &'static str,
     start: Instant,
+    /// Timeline span id; 0 when trace recording was off at open, so the
+    /// matching end record is suppressed and traces stay balanced.
+    trace_id: u64,
 }
 
 impl SpanGuard {
     /// Open a span. Prefer the [`span!`](crate::span!) macro.
     pub fn enter(name: &'static str) -> SpanGuard {
         DEPTH.with(|d| d.set(d.get() + 1));
+        let trace_id = crate::trace::begin_span(name);
         SpanGuard {
             name,
             start: Instant::now(),
+            trace_id,
         }
     }
 }
@@ -39,6 +45,7 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        crate::trace::end_span(self.trace_id, self.name);
         LOCAL.with(|local| {
             local
                 .borrow_mut()
@@ -59,6 +66,9 @@ impl Drop for SpanGuard {
                     map.clear();
                 }
             });
+            // The outermost close is also the natural point to hand this
+            // thread's timeline records to the global collector.
+            crate::trace::flush_thread();
         }
     }
 }

@@ -98,6 +98,114 @@ fn parser_accepts_hand_written_reports() {
 }
 
 #[test]
+fn zero_event_reports_with_nonempty_snapshots_roundtrip() {
+    // Regression: a run that records metrics but emits no events (and no
+    // series) must survive serialize -> parse -> serialize, including
+    // empty histograms whose min/max were never observed.
+    use vb_telemetry::{HistogramSnapshot, RunReport, Snapshot, SpanStat};
+    let report = RunReport {
+        name: "quiet_run".to_string(),
+        events: Vec::new(),
+        series: Vec::new(),
+        snapshot: Snapshot {
+            counters: vec![("quiet.steps".to_string(), 42)],
+            float_counters: vec![("quiet.gb".to_string(), 0.0)],
+            gauges: vec![("quiet.util".to_string(), 0.25)],
+            histograms: vec![(
+                "quiet.empty_hist".to_string(),
+                HistogramSnapshot {
+                    bounds: vec![1.0, 10.0],
+                    counts: vec![0, 0, 0],
+                    count: 0,
+                    sum: 0.0,
+                    min: 0.0,
+                    max: 0.0,
+                },
+            )],
+            spans: vec![(
+                "quiet.span".to_string(),
+                SpanStat {
+                    count: 3,
+                    total_ns: 300,
+                    min_ns: 50,
+                    max_ns: 200,
+                },
+            )],
+        },
+    };
+    let jsonl = report.to_jsonl();
+    assert_eq!(jsonl.lines().count(), 1, "summary line only");
+    let parsed = RunReport::parse_jsonl(&jsonl).expect("zero-event report parses");
+    assert_eq!(parsed, report);
+    assert_eq!(parsed.to_jsonl(), jsonl);
+
+    // Trailing newlines, blank/whitespace lines and CRLF endings are
+    // tolerated wherever a line boundary can occur.
+    for decorated in [
+        format!("{jsonl}\n\n"),
+        format!("\n  \n{jsonl}"),
+        format!("  {}  \n\t\n", jsonl.trim_end()),
+        jsonl.trim_end().to_string(), // no final newline
+        jsonl.replace('\n', "\r\n"),
+    ] {
+        let parsed = RunReport::parse_jsonl(&decorated)
+            .unwrap_or_else(|e| panic!("must parse {decorated:?}: {e}"));
+        assert_eq!(parsed, report);
+    }
+
+    // Error offsets stay within the input even without a final newline.
+    let truncated = "{\"type\":\"event\",\"seq\":0,\"kind\":\"k\",\"fields\":{}}";
+    let err = RunReport::parse_jsonl(truncated).expect_err("missing summary");
+    assert!(err.offset <= truncated.len());
+}
+
+#[test]
+fn series_lines_roundtrip_between_events_and_summary() {
+    use vb_telemetry::{RunReport, SeriesData};
+    let mut report = RunReport {
+        name: "with_series".to_string(),
+        ..RunReport::default()
+    };
+    report.series.push(SeriesData {
+        name: "demo.step_series".to_string(),
+        instance: "greedy".to_string(),
+        epochs: vec![0, 1, 2],
+        columns: vec![
+            ("queued_apps".to_string(), vec![0.0, 2.0, 1.0]),
+            ("transfer_gb".to_string(), vec![0.5, 0.0, 3.25]),
+        ],
+    });
+    let jsonl = report.to_jsonl();
+    assert_eq!(jsonl.lines().count(), 2, "1 series + 1 summary");
+    let parsed = RunReport::parse_jsonl(&jsonl).expect("parse");
+    assert_eq!(parsed, report);
+    assert_eq!(parsed.to_jsonl(), jsonl);
+    assert_eq!(
+        parsed.series[0].column("transfer_gb"),
+        Some(&[0.5, 0.0, 3.25][..])
+    );
+
+    // Malformed series lines are rejected with a clear error.
+    let summary = jsonl.lines().last().expect("summary line");
+    let ragged = format!(
+        "{}\n{summary}\n",
+        "{\"type\":\"series\",\"name\":\"s.x\",\"instance\":\"\",\"epochs\":[0,1],\"columns\":{\"v\":[1.0]}}"
+    );
+    assert!(
+        RunReport::parse_jsonl(&ragged).is_err(),
+        "column length must match epochs"
+    );
+    let after_summary = format!(
+        "{summary}\n{}\n",
+        jsonl.lines().next().expect("series line")
+    );
+    assert!(
+        RunReport::parse_jsonl(&after_summary).is_err(),
+        "series after summary is malformed"
+    );
+}
+
+#[test]
 fn parser_rejects_malformed_input() {
     assert!(RunReport::parse_jsonl("").is_err(), "no summary line");
     assert!(

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the solver epoch-reuse bench.
+
+Usage: check_bench.py CURRENT.json BASELINE.json [KEY=TOL ...]
+
+Compares a freshly produced `BENCH_solver.json` against the committed
+baseline and exits non-zero when the run regressed past the tolerance
+band for any key. Keys fall into three classes:
+
+* structural (`bench`, `epochs`, `apps`, `sites`, `buckets`,
+  `warm_hits`): exact match — a drift here means the bench ran a
+  different experiment and the perf comparison is meaningless;
+* quality (`pivot_reduction`, `max_objective_drift`, `cold_pivots`,
+  `warm_pivots`): pivot counts are deterministic but allowed a small
+  slack so baseline refreshes need not be pivot-exact across solver
+  tweaks; the reduction ratio and objective drift are bounded
+  absolutely;
+* wall-clock (`cold_secs`, `warm_secs`, `speedup`): noisy on shared CI
+  hosts, so the band is wide (2x) — wide enough to ride out scheduler
+  noise, tight enough that a genuinely quadratic regression or a lost
+  warm-start path still trips it.
+
+Tolerances can be overridden per key on the command line, e.g.
+`warm_secs=3.0` to triple the wall-clock band on a known-slow runner.
+Improvements never fail the gate (they print a hint to refresh the
+baseline instead).
+"""
+
+import json
+import sys
+
+# key -> (rule, default tolerance). Rules:
+#   exact      — current == baseline
+#   ratio      — current <= tol * baseline (bigger is worse)
+#   ratio_min  — current >= baseline / tol (smaller is worse)
+#   slack_min  — current >= baseline - tol (smaller is worse)
+#   abs_max    — current <= tol (baseline-independent ceiling)
+RULES = {
+    "bench": ("exact", None),
+    "epochs": ("exact", None),
+    "apps": ("exact", None),
+    "sites": ("exact", None),
+    "buckets": ("exact", None),
+    "warm_hits": ("exact", None),
+    "cold_secs": ("ratio", 2.0),
+    "warm_secs": ("ratio", 2.0),
+    "speedup": ("ratio_min", 2.0),
+    "cold_pivots": ("ratio", 1.1),
+    "warm_pivots": ("ratio", 1.1),
+    "pivot_reduction": ("slack_min", 0.05),
+    "max_objective_drift": ("abs_max", 1e-6),
+}
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"error: cannot load bench result {path}: {err}")
+    missing = sorted(set(RULES) - set(data))
+    if missing:
+        sys.exit(f"error: {path} is missing keys: {', '.join(missing)}")
+    return data
+
+
+def check(key, rule, tol, cur, base):
+    """Return (ok, verdict) for one key."""
+    if rule == "exact":
+        return cur == base, "exact match required"
+    if rule == "ratio":
+        return cur <= tol * base, f"must stay <= {tol:g}x baseline"
+    if rule == "ratio_min":
+        return cur >= base / tol, f"must stay >= baseline/{tol:g}"
+    if rule == "slack_min":
+        return cur >= base - tol, f"must stay >= baseline - {tol:g}"
+    if rule == "abs_max":
+        return cur <= tol, f"must stay <= {tol:g}"
+    sys.exit(f"error: unknown rule {rule} for {key}")
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__.strip())
+    current, baseline = load(sys.argv[1]), load(sys.argv[2])
+
+    overrides = {}
+    for arg in sys.argv[3:]:
+        key, eq, value = arg.partition("=")
+        if not eq or key not in RULES:
+            sys.exit(f"error: bad tolerance override `{arg}` (expected KEY=TOL)")
+        if RULES[key][0] == "exact":
+            sys.exit(f"error: `{key}` is structural; its tolerance cannot be overridden")
+        try:
+            overrides[key] = float(value)
+        except ValueError:
+            sys.exit(f"error: tolerance `{value}` for {key} is not a number")
+
+    failures = []
+    improvements = []
+    print(f"{'key':<20} {'current':>12} {'baseline':>12}  verdict")
+    for key, (rule, default_tol) in RULES.items():
+        tol = overrides.get(key, default_tol)
+        cur, base = current[key], baseline[key]
+        ok, band = check(key, rule, tol, cur, base)
+        status = "ok" if ok else "FAIL"
+        print(f"{key:<20} {cur!s:>12} {base!s:>12}  {status} ({band})")
+        if not ok:
+            failures.append(key)
+        elif rule == "ratio" and isinstance(cur, (int, float)) and cur < 0.5 * base:
+            improvements.append(key)
+
+    if improvements:
+        print(
+            f"note: {', '.join(improvements)} improved >2x over baseline — "
+            "consider refreshing BENCH_solver.json"
+        )
+    if failures:
+        print(f"perf gate FAILED: {', '.join(failures)} regressed past tolerance")
+        sys.exit(1)
+    print("perf gate passed")
+
+
+if __name__ == "__main__":
+    main()

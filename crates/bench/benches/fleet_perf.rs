@@ -1,0 +1,231 @@
+//! Fleet-scale simulation benchmark: event-driven vs legacy step core.
+//!
+//! Runs sharded fleets at paper-scale multiples of the Table 1 group —
+//! 10× (30 sites) and 100× (300 sites) by default, 1000× opt-in via
+//! `VB_FLEET_SCALES=10x,100x,1000x` — under both step drivers, asserts
+//! the runs are **bit-identical**, and writes the throughput comparison
+//! to `BENCH_fleet.json` (`VB_BENCH_OUT` overrides the path; empty
+//! string disables the file, `check_bench.py` gates the committed
+//! baseline).
+//!
+//! Shard *construction* (trace + forecast generation) is identical
+//! under either driver and excluded from the timers; the timed region
+//! is exactly the per-step simulation work the event core rewrites.
+//! Throughput is reported as site-steps/sec (`sites × steps / secs`)
+//! and VM-decisions/sec; memory as the `VmHWM` peak-RSS proxy from
+//! `/proc/self/status` (0 where unavailable).
+
+use std::sync::Mutex;
+use std::time::Instant;
+use vb_core::fleet::{shard_names, FleetPolicy};
+use vb_sched::{AppGenConfig, GroupSim, GroupSimConfig, PolicySummary, SimCore};
+use vb_trace::Catalog;
+
+/// Sites per shard: the Table 1 multi-VB group size.
+const SHARD_SIZE: usize = 3;
+const DAYS: u32 = 84;
+const SEED: u64 = 42;
+
+/// Peak resident-set size in MB from `/proc/self/status` (`VmHWM`), or
+/// 0.0 where the proc interface is unavailable (non-Linux).
+fn peak_rss_mb() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0.0);
+            return kb / 1024.0;
+        }
+    }
+    0.0
+}
+
+fn fleet_cfg(core: SimCore) -> GroupSimConfig {
+    GroupSimConfig {
+        days: DAYS,
+        seed: SEED,
+        core,
+        // Fixed per-shard arrival rate (rather than auto-sizing per
+        // shard's weather draw): every shard sees a comparable workload
+        // and the fleet's total VM count scales linearly with the site
+        // count — the follow-up paper's ~10⁵–10⁶ VM regime. Many tiny
+        // apps (1–2 VMs × 2 cores), almost all degradable (the
+        // renewable-DC premise: batch work that hibernates through dips
+        // rather than migrating), at calm ~15 % occupancy: 4/step ×
+        // ~198-step mean lifetime × ~3 cores ≈ 2.4 k cores against
+        // ≈ 17–20 k admissible. Quiescent steps are the fleet norm the
+        // event core exploits; the twelve-week horizon exposes the
+        // legacy core's registry-scan growth (its per-step scans walk
+        // every app ever admitted, so its aggregate cost grows with the
+        // square of the run length while the event core stays linear).
+        epoch_steps: vb_sched::STEPS_PER_DAY,
+        app_cfg: Some(AppGenConfig {
+            arrivals_per_step: 4.0,
+            vms_min: 1,
+            vms_max: 2,
+            cores_per_vm: 2,
+            degradable_fraction: 0.95,
+            ..AppGenConfig::default()
+        }),
+        ..GroupSimConfig::default()
+    }
+}
+
+/// Build every shard's sim (untimed), then run them all (timed),
+/// returning per-shard summaries in shard order plus the wall-clock of
+/// the timed region.
+fn run_shards(
+    catalog: &Catalog,
+    shards: &[Vec<String>],
+    policy: FleetPolicy,
+    core: SimCore,
+) -> (Vec<PolicySummary>, f64) {
+    let sims: Vec<Mutex<Option<GroupSim>>> = vb_par::par_map(shards.len(), |i| {
+        let names: Vec<&str> = shards[i].iter().map(String::as_str).collect();
+        let cfg = GroupSimConfig {
+            // Same per-shard seed derivation as `vb_core::fleet::run_fleet`.
+            seed: SEED.wrapping_add(1 + i as u64),
+            ..fleet_cfg(core)
+        };
+        GroupSim::new(catalog, &names, cfg).expect("fleet catalog names resolve")
+    })
+    .into_iter()
+    .map(|sim| Mutex::new(Some(sim)))
+    .collect();
+
+    let t0 = Instant::now();
+    let summaries = vb_par::par_map(shards.len(), |i| {
+        let sim = sims[i]
+            .lock()
+            .expect("no panics while holding the sim slot")
+            .take()
+            .expect("each shard slot is taken exactly once");
+        let mut policy = policy.build();
+        sim.run(policy.as_mut())
+    });
+    (summaries, t0.elapsed().as_secs_f64())
+}
+
+struct Row {
+    scale: String,
+    sites: usize,
+    shards: usize,
+    policy: &'static str,
+    event_secs: f64,
+    legacy_secs: f64,
+    vm_decisions: u64,
+    total_gb: f64,
+    dropped_apps: usize,
+}
+
+fn main() {
+    let run = vb_bench::report::BenchRun::start("fleet_perf");
+    let scales_env = std::env::var("VB_FLEET_SCALES").unwrap_or_else(|_| "10x,100x".to_string());
+    let scales: Vec<(String, usize)> = scales_env
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            let mult: usize = s
+                .trim_end_matches(['x', 'X'])
+                .parse()
+                .unwrap_or_else(|_| panic!("bad VB_FLEET_SCALES entry {s:?}"));
+            (s.to_string(), mult * SHARD_SIZE)
+        })
+        .collect();
+
+    let steps = DAYS as u64 * vb_trace::STEPS_PER_DAY as u64;
+    let mut rows: Vec<Row> = Vec::new();
+    for (scale, n_sites) in &scales {
+        let catalog = Catalog::fleet(SEED, *n_sites);
+        let shards = shard_names(&catalog, SHARD_SIZE);
+        let policy = FleetPolicy::Greedy;
+
+        let (legacy, legacy_secs) = run_shards(&catalog, &shards, policy, SimCore::Legacy);
+        let (event, event_secs) = run_shards(&catalog, &shards, policy, SimCore::EventDriven);
+        assert_eq!(
+            legacy, event,
+            "{scale}: event-driven fleet diverged from the legacy core"
+        );
+
+        let vm_decisions: u64 = event.iter().map(|s| s.vm_decisions).sum();
+        let total_gb: f64 = event.iter().map(|s| s.total_gb).sum();
+        let dropped_apps: usize = event.iter().map(|s| s.dropped_apps).sum();
+        let site_steps = (*n_sites as u64 * steps) as f64;
+        println!(
+            "{scale}: {n_sites} sites x {steps} steps, {} shards [{}]",
+            shards.len(),
+            policy.name()
+        );
+        println!(
+            "  legacy {legacy_secs:.3}s ({:.0} site-steps/s) | event {event_secs:.3}s ({:.0} site-steps/s) | speedup {:.1}x",
+            site_steps / legacy_secs,
+            site_steps / event_secs,
+            legacy_secs / event_secs
+        );
+        println!(
+            "  {vm_decisions} VM decisions ({:.0}/s), {total_gb:.1} GB moved, {dropped_apps} dropped",
+            vm_decisions as f64 / event_secs
+        );
+        rows.push(Row {
+            scale: scale.clone(),
+            sites: *n_sites,
+            shards: shards.len(),
+            policy: policy.name(),
+            event_secs,
+            legacy_secs,
+            vm_decisions,
+            total_gb,
+            dropped_apps,
+        });
+    }
+
+    let rss = peak_rss_mb();
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let site_steps = (r.sites as u64 * steps) as f64;
+            format!(
+                "    {{\n      \"scale\": \"{}\",\n      \"sites\": {},\n      \"shards\": {},\n      \"days\": {DAYS},\n      \"steps\": {steps},\n      \"policy\": \"{}\",\n      \"event_secs\": {:.6},\n      \"legacy_secs\": {:.6},\n      \"event_steps_per_sec\": {:.1},\n      \"legacy_steps_per_sec\": {:.1},\n      \"speedup\": {:.4},\n      \"vm_decisions\": {},\n      \"vm_decisions_per_sec\": {:.1},\n      \"total_gb\": {:.3},\n      \"dropped_apps\": {},\n      \"peak_rss_mb\": {rss:.1}\n    }}",
+                r.scale,
+                r.sites,
+                r.shards,
+                r.policy,
+                r.event_secs,
+                r.legacy_secs,
+                site_steps / r.event_secs,
+                site_steps / r.legacy_secs,
+                r.legacy_secs / r.event_secs,
+                r.vm_decisions,
+                r.vm_decisions as f64 / r.event_secs,
+                r.total_gb,
+                r.dropped_apps,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"fleet_sim\",\n  \"shard_size\": {SHARD_SIZE},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        row_json.join(",\n")
+    );
+    let path = std::env::var("VB_BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json").into());
+    if !path.is_empty() {
+        // The run-report dir is only created at `run.finish()`, after
+        // this write — create the parent here so pointing VB_BENCH_OUT
+        // into a fresh VB_REPORT_DIR (the CI fleet job does) works.
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(err) => eprintln!("could not write {path}: {err}"),
+        }
+    }
+    run.finish();
+}

@@ -183,6 +183,11 @@ fn main() {
     let path = std::env::var("VB_BENCH_OUT")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json").into());
     if !path.is_empty() {
+        // Create the parent dir: VB_BENCH_OUT may point into a report
+        // dir that only exists after `run.finish()` (see fleet_perf).
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
         match std::fs::write(&path, &json) {
             Ok(()) => println!("wrote {path}"),
             Err(err) => eprintln!("could not write {path}: {err}"),

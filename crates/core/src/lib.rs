@@ -43,6 +43,7 @@ pub mod battery;
 pub mod combos;
 pub mod economics;
 pub mod energy;
+pub mod fleet;
 pub mod multivb;
 pub mod purchase;
 pub mod storage;
@@ -51,6 +52,7 @@ pub use battery::VirtualBattery;
 pub use combos::{search_pairs, ComboStats, PairImprovement};
 pub use economics::{EconomicModel, EnergyValue};
 pub use energy::{decompose, EnergyBreakdown};
+pub use fleet::{run_fleet, shard_names, FleetConfig, FleetPolicy, FleetRun, ShardResult};
 pub use multivb::MultiVb;
 pub use purchase::{optimize_purchase, PurchasePlan};
 pub use storage::{required_capacity_for_stable_fraction, Battery};

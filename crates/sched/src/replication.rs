@@ -232,6 +232,7 @@ mod tests {
                 unavailable_app_steps: 0,
                 preemptive_moves: 0,
                 dropped_apps: 0,
+                vm_decisions: 0,
             },
         };
         let r = ReplicationModel::default().evaluate(&run);

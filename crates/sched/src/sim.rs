@@ -21,13 +21,38 @@
 //! All four Table 1 policies run against identical arrival sequences and
 //! power traces (same seeds), so differences are purely placement
 //! quality.
+//!
+//! ## Two step drivers, one semantics
+//!
+//! The per-step work can be driven two ways, selected by
+//! [`GroupSimConfig::core`]:
+//!
+//! * [`SimCore::Legacy`] — the original full-scan loop: every site and
+//!   every registered app is visited at every step. Kept verbatim as the
+//!   differential oracle and the baseline the `fleet_perf` bench
+//!   measures speedups against.
+//! * [`SimCore::EventDriven`] (default) — time-bucketed event queues
+//!   (app expirations, site power threats, preemptive-drain deadlines)
+//!   plus incremental group counters, so quiescent sites cost nothing
+//!   per step. Power budgets and day-ahead forecast minima are
+//!   precomputed per site once at construction; "when does this site
+//!   next violate X?" is answered by a bucketed threshold scan instead
+//!   of a per-step re-check.
+//!
+//! Both drivers share every phase helper (eviction, re-hosting,
+//! recovery, draining, planning), and the event driver's lazy-arming
+//! invariant — an armed wake-up step is never later than the earliest
+//! real violation — makes the two bit-identical. That equivalence is
+//! pinned by `tests/event_equivalence.rs` across all four policies.
 
 use crate::app::{AppGen, AppGenConfig, AppSpec};
 use crate::policy::{AppId, MovableApp, NewApp, PlanContext, Policy, SitePlanInfo, SiteSnapshot};
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use vb_cluster::VmKind;
 use vb_stats::{Cdf, Summary, TimeSeries};
-use vb_trace::{forecast_for, generate_in, Catalog, Horizon, Site};
+use vb_trace::{forecast_for, generate_in, Catalog, Horizon, Site, WEEK_AHEAD_STEPS};
 
 /// Errors constructing a group simulation from a catalog + config.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +86,24 @@ pub const STEPS_PER_DAY: u32 = vb_trace::STEPS_PER_DAY as u32;
 /// must use the same window — the policy's risk assessment is meant to
 /// see exactly the horizon the snapshot summarises.
 pub const DAY_AHEAD_STEPS: usize = STEPS_PER_DAY as usize;
+
+/// Width (in steps) of the coarse buckets the event core's threshold
+/// scans use: per-bucket minima let "when does the budget next drop
+/// below X?" skip half a day at a time instead of testing every step.
+const EVENT_BUCKET_STEPS: usize = (STEPS_PER_DAY / 2) as usize;
+
+/// Sentinel for "no wake-up armed" in the event queues.
+const NOT_ARMED: u64 = u64::MAX;
+
+/// Which per-step driver [`GroupSim::run_detailed`] uses. See the
+/// module docs; the two are bit-identical by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimCore {
+    /// Original full-scan loop — every site/app visited every step.
+    Legacy,
+    /// Event queues + incremental counters (default).
+    EventDriven,
+}
 
 /// Configuration of a group simulation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -96,6 +139,8 @@ pub struct GroupSimConfig {
     /// subgraph — the paper's latency constraint on splitting/moving
     /// apps. `None` treats all sites as one group.
     pub subgraphs: Option<Vec<Vec<usize>>>,
+    /// Which step driver runs the simulation (bit-identical results).
+    pub core: SimCore,
     /// Seed for workload generation.
     pub seed: u64,
 }
@@ -113,6 +158,7 @@ impl Default for GroupSimConfig {
             max_movable: 0,
             moves_per_step: 2,
             subgraphs: None,
+            core: SimCore::EventDriven,
             seed: 42,
         }
     }
@@ -170,6 +216,10 @@ pub struct PolicySummary {
     pub preemptive_moves: usize,
     /// Apps that expired while queued (never re-hosted).
     pub dropped_apps: usize,
+    /// VM placement decisions made over the run: every attach (initial
+    /// placement, re-host, relaunch, preemptive move) counts its VMs.
+    /// The fleet bench's "VM-decisions/sec" denominator.
+    pub vm_decisions: u64,
 }
 
 impl PolicySummary {
@@ -178,6 +228,7 @@ impl PolicySummary {
         steps: &[GroupStepStats],
         moves: usize,
         dropped: usize,
+        vm_decisions: u64,
     ) -> PolicySummary {
         let per_step: Vec<f64> = steps.iter().map(|s| s.transfer_gb).collect();
         let summary = Summary::of(&per_step);
@@ -193,6 +244,7 @@ impl PolicySummary {
             unavailable_app_steps: steps.iter().map(|s| s.queued_apps as u64).sum(),
             preemptive_moves: moves,
             dropped_apps: dropped,
+            vm_decisions,
         }
     }
 }
@@ -205,8 +257,20 @@ struct AppState {
     /// Last site the app ran at (anchors its subgraph while queued).
     last_site: usize,
     hibernated: bool,
+    /// True while the app sits in the group-wide relaunch queue.
+    in_queue: bool,
     departs_at: u64,
+    /// Index of this app's entry in its current site's resident list
+    /// (meaningless while detached). Lets `detach` overwrite its slot
+    /// with [`TOMBSTONE`] in O(1) instead of an O(residents) `retain`.
+    slot: usize,
 }
+
+/// Dead entry in a site's resident list. Departures tombstone their
+/// slot rather than shifting the tail; compaction (in [`GroupSim::detach`])
+/// squeezes the list once tombstones outnumber live entries, preserving
+/// relative order so "oldest resident first" decisions are unchanged.
+const TOMBSTONE: AppId = AppId(usize::MAX);
 
 #[derive(Debug, Clone)]
 struct SiteState {
@@ -217,15 +281,174 @@ struct SiteState {
     f3: TimeSeries,
     fd: TimeSeries,
     fw: TimeSeries,
-    /// Apps resident here (running or hibernated).
+    /// Apps resident here (running or hibernated), in arrival order,
+    /// interspersed with [`TOMBSTONE`] entries left by departures.
     apps: Vec<AppId>,
+    /// Tombstone count in `apps` (compaction trigger).
+    dead: usize,
     /// Running committed cores (stable + degradable, not hibernated).
     allocated_cores: u32,
-    budget_cores: u32,
+}
+
+/// Precomputed per-site power readouts shared by both step drivers.
+///
+/// `budgets[t]` is exactly what the legacy loop derived per step
+/// (`floor(clamp(actual[t]) × cores_per_site)`), and `fd_min24[t]` is
+/// exactly the fold the legacy snapshot took over the day-ahead window
+/// `[t, min(t + DAY_AHEAD_STEPS, len))` — `+∞` marks an empty window.
+/// The `*_bucket_min` arrays hold per-[`EVENT_BUCKET_STEPS`] minima so
+/// threshold scans skip whole buckets that cannot contain a violation.
+#[derive(Debug, Clone)]
+struct SitePower {
+    budgets: Vec<u32>,
+    budget_bucket_min: Vec<u32>,
+    fd_min24: Vec<f64>,
+    fd24_bucket_min: Vec<f64>,
+}
+
+impl SitePower {
+    fn build(actual: &TimeSeries, fd: &TimeSeries, cores_per_site: u32, n_steps: usize) -> Self {
+        // Missing trace steps (defensive: traces normally cover the run
+        // exactly) count as zero power; the gap is surfaced via the
+        // `sched.budget_gap_steps` counter instead of a panic.
+        let gap = n_steps.saturating_sub(actual.len());
+        if gap > 0 {
+            vb_telemetry::counter!("sched.budget_gap_steps").add(gap as u64);
+        }
+        let budgets: Vec<u32> = (0..n_steps)
+            .map(|t| {
+                let frac = actual.values.get(t).copied().unwrap_or(0.0).clamp(0.0, 1.0);
+                (frac * cores_per_site as f64).floor() as u32
+            })
+            .collect();
+        let fd_min24 = sliding_window_min(&fd.values, DAY_AHEAD_STEPS, n_steps);
+        let buckets = n_steps.div_ceil(EVENT_BUCKET_STEPS.max(1));
+        let budget_bucket_min = (0..buckets)
+            .map(|b| {
+                let lo = b * EVENT_BUCKET_STEPS;
+                let hi = (lo + EVENT_BUCKET_STEPS).min(n_steps);
+                budgets[lo..hi].iter().copied().min().unwrap_or(u32::MAX)
+            })
+            .collect();
+        let fd24_bucket_min = (0..buckets)
+            .map(|b| {
+                let lo = b * EVENT_BUCKET_STEPS;
+                let hi = (lo + EVENT_BUCKET_STEPS).min(n_steps);
+                fd_min24[lo..hi]
+                    .iter()
+                    .copied()
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        SitePower {
+            budgets,
+            budget_bucket_min,
+            fd_min24,
+            fd24_bucket_min,
+        }
+    }
+
+    /// Earliest step `t >= from` with `budgets[t] < threshold`.
+    fn next_budget_below(&self, from: usize, threshold: u32) -> Option<usize> {
+        if threshold == 0 {
+            return None; // budgets are unsigned: never below zero
+        }
+        let n = self.budgets.len();
+        let w = EVENT_BUCKET_STEPS.max(1);
+        let mut t = from;
+        while t < n {
+            let b = t / w;
+            let hi = ((b + 1) * w).min(n);
+            let bucket_min = self.budget_bucket_min.get(b).copied().unwrap_or(u32::MAX);
+            if bucket_min < threshold {
+                while t < hi {
+                    if self.budgets[t] < threshold {
+                        return Some(t);
+                    }
+                    t += 1;
+                }
+            } else {
+                t = hi;
+            }
+        }
+        None
+    }
+
+    /// Earliest step `t >= from` where the day-ahead admissible floor
+    /// drops below `stable` cores: `fd_min24[t] × cores × util <
+    /// stable`, exactly the legacy drain trigger `stable −
+    /// forecast_min_24h_cores > 0`. Skipping a bucket is sound because
+    /// multiplying by a non-negative constant is weakly monotone under
+    /// IEEE rounding: `bucket_min × c ≥ stable` implies every step in
+    /// the bucket clears the bar too.
+    fn next_fd24_below(&self, from: usize, stable: f64, cores_f: f64, util: f64) -> Option<usize> {
+        let n = self.fd_min24.len();
+        let w = EVENT_BUCKET_STEPS.max(1);
+        let mut t = from;
+        while t < n {
+            let b = t / w;
+            let hi = ((b + 1) * w).min(n);
+            let bucket_min = self
+                .fd24_bucket_min
+                .get(b)
+                .copied()
+                .unwrap_or(f64::INFINITY);
+            if bucket_min * cores_f * util < stable {
+                while t < hi {
+                    if self.fd_min24[t] * cores_f * util < stable {
+                        return Some(t);
+                    }
+                    t += 1;
+                }
+            } else {
+                t = hi;
+            }
+        }
+        None
+    }
+}
+
+/// Minimum of `values[t..min(t + window, len)]` for every `t` in
+/// `0..out_len` — `+∞` where the window is empty. A right-to-left
+/// monotonic deque makes this O(n) while returning exactly the value a
+/// per-step `fold(∞, min)` over the same (possibly tail-shortened)
+/// window would: the min over a set does not depend on scan order.
+fn sliding_window_min(values: &[f64], window: usize, out_len: usize) -> Vec<f64> {
+    let n = values.len();
+    let mut out = vec![f64::INFINITY; out_len];
+    // Indices ascending front→back; values strictly *decreasing*
+    // front→back, so the back holds the window minimum. Walking `t`
+    // right-to-left, the new index enters at the front (it outlives
+    // every resident, so residents with values ≥ its own are dominated
+    // and popped), and expired indices (`≥ t + window`) leave the back.
+    let mut dq: VecDeque<usize> = VecDeque::new();
+    for t in (0..out_len).rev() {
+        if t < n {
+            while let Some(&f) = dq.front() {
+                if values[f] >= values[t] {
+                    dq.pop_front();
+                } else {
+                    break;
+                }
+            }
+            dq.push_front(t);
+        }
+        while let Some(&b) = dq.back() {
+            if b >= t + window {
+                dq.pop_back();
+            } else {
+                break;
+            }
+        }
+        if let Some(&b) = dq.back() {
+            out[t] = values[b];
+        }
+    }
+    out
 }
 
 /// Per-step telemetry plus the run summary.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DetailedRun {
     /// Per-step group telemetry.
     pub steps: Vec<GroupStepStats>,
@@ -233,10 +456,119 @@ pub struct DetailedRun {
     pub summary: PolicySummary,
 }
 
+/// Event-core state: time-bucketed wake-up queues plus incrementally
+/// maintained group counters. All counters are kept up to date in both
+/// drivers (they are O(1) per mutation); only the queues and the
+/// touched-site tracking are gated on `enabled`.
+#[derive(Debug, Default)]
+struct EventState {
+    enabled: bool,
+    drain_enabled: bool,
+    /// `expiry[t]`: apps whose `departs_at == t` (only `t < n_steps`).
+    expiry: Vec<Vec<AppId>>,
+    /// `threat[t]`: sites armed to re-check `alloc > budget` at `t`.
+    threat: Vec<Vec<usize>>,
+    /// Per site: the step its pending power-threat check fires at.
+    armed_threat: Vec<u64>,
+    /// `drain[t]`: sites armed to re-check the drain deficit at `t`.
+    drain: Vec<Vec<usize>>,
+    armed_drain: Vec<u64>,
+    /// Ascending worklist for the drain phase; sites tipped into
+    /// deficit *during* the phase (by a drain move landing on them)
+    /// join it live, mirroring the legacy ascending site scan.
+    drain_worklist: BinaryHeap<Reverse<usize>>,
+    in_drain_phase: bool,
+    /// True once this step's drain phase has run (or was skipped):
+    /// later arms must target the next step.
+    drain_phase_done: bool,
+    /// Site currently being drained (for the ascending-order rule).
+    drain_pos: usize,
+    /// Resident hibernated apps per site — the O(1) "anything to
+    /// resume here?" test both drivers' recovery scans lean on.
+    hibernated_per_site: Vec<u32>,
+    /// Lower bound on the smallest hibernated app's cores per site
+    /// (`u32::MAX` when none). Only tightened on hibernate and reset
+    /// when the site's last hibernated app leaves, so it may run stale
+    /// low after a resume — stale-low keeps the skip test in
+    /// [`GroupSim::resume_site`] sound.
+    min_hib_cores: Vec<u32>,
+    /// Incremental group totals (== the legacy per-step full scans).
+    group_allocated: u64,
+    hibernated_apps: usize,
+    /// Running stable (non-hibernated) cores per site — stable apps
+    /// never hibernate, so this tracks exactly the legacy drain scan.
+    stable_cores: Vec<u64>,
+    /// Sites whose allocation changed this step (stamp = step + 1).
+    touched_stamp: Vec<u64>,
+    touched: Vec<usize>,
+}
+
+/// Locally-buffered rows of the per-step `sched.step_series`, flushed
+/// to the global series store in one batch at the end of a run (the
+/// store is one process-global mutex; see `run_detailed`).
+#[derive(Default)]
+struct StepSeries {
+    epochs: Vec<u64>,
+    transfer_gb: Vec<f64>,
+    move_gb: Vec<f64>,
+    queued_apps: Vec<f64>,
+    hibernated_apps: Vec<f64>,
+    power_deficit_cores: Vec<f64>,
+    allocated_cores: Vec<f64>,
+    budget_cores: Vec<f64>,
+}
+
+impl StepSeries {
+    fn with_capacity(n: usize) -> StepSeries {
+        let mut s = StepSeries::default();
+        s.epochs.reserve(n);
+        s.transfer_gb.reserve(n);
+        s.move_gb.reserve(n);
+        s.queued_apps.reserve(n);
+        s.hibernated_apps.reserve(n);
+        s.power_deficit_cores.reserve(n);
+        s.allocated_cores.reserve(n);
+        s.budget_cores.reserve(n);
+        s
+    }
+
+    fn push(&mut self, step: u64, stats: &GroupStepStats, power_deficit_cores: u64) {
+        self.epochs.push(step);
+        self.transfer_gb.push(stats.transfer_gb);
+        self.move_gb.push(stats.move_gb);
+        self.queued_apps.push(stats.queued_apps as f64);
+        self.hibernated_apps.push(stats.hibernated_apps as f64);
+        self.power_deficit_cores.push(power_deficit_cores as f64);
+        self.allocated_cores.push(stats.allocated_cores as f64);
+        self.budget_cores.push(stats.budget_cores as f64);
+    }
+
+    fn flush(&self, instance: &str) {
+        vb_telemetry::series_extend(
+            "sched.step_series",
+            instance,
+            &self.epochs,
+            &[
+                ("transfer_gb", &self.transfer_gb),
+                ("move_gb", &self.move_gb),
+                ("queued_apps", &self.queued_apps),
+                ("hibernated_apps", &self.hibernated_apps),
+                ("power_deficit_cores", &self.power_deficit_cores),
+                ("allocated_cores", &self.allocated_cores),
+                ("budget_cores", &self.budget_cores),
+            ],
+        );
+    }
+}
+
 /// The multi-VB group simulator.
 pub struct GroupSim {
     cfg: GroupSimConfig,
     sites: Vec<SiteState>,
+    /// Precomputed per-site budgets/forecast minima, parallel to `sites`.
+    power: Vec<SitePower>,
+    /// Group-wide powered cores per step (Σ budgets).
+    budget_total: Vec<u64>,
     apps: Vec<AppState>,
     /// Evicted stable apps waiting for capacity anywhere.
     queue: Vec<AppId>,
@@ -245,10 +577,16 @@ pub struct GroupSim {
     n_steps: u64,
     preemptive_moves: usize,
     dropped_apps: usize,
+    vm_decisions: u64,
     /// Last preemptive-move step per app, for the anti-thrash cooldown.
     moved_at: std::collections::HashMap<AppId, u64>,
     /// Planned preemptive moves awaiting execution (app, target site).
-    pending_moves: std::collections::VecDeque<(AppId, usize)>,
+    pending_moves: VecDeque<(AppId, usize)>,
+    /// Per-site `(allocation, budget)` as of the last resume attempt;
+    /// an unchanged pair proves the attempt would be a no-op (see
+    /// [`GroupSim::resume_site`]). Sentinel `u32::MAX` = never tried.
+    resume_checked: Vec<(u32, u32)>,
+    ev: EventState,
 }
 
 impl GroupSim {
@@ -268,11 +606,12 @@ impl GroupSim {
             return Err(SimError::NoSites);
         }
         let field = catalog.field();
+        let n_steps = (cfg.days as u64) * STEPS_PER_DAY as u64;
         // Per-site trace + forecast generation is the expensive part of
         // setup; each site is independent, so fan out across cores. The
         // traces are seeded per site, so the result is identical at any
         // thread count.
-        let sites: Vec<SiteState> = vb_par::par_map(site_names.len(), |i| {
+        let built: Vec<(SiteState, SitePower)> = vb_par::par_map(site_names.len(), |i| {
             let name = site_names[i];
             let site = catalog
                 .get(name)
@@ -282,21 +621,29 @@ impl GroupSim {
             let f3 = forecast_for(&actual, &site, Horizon::Hours3, field);
             let fd = forecast_for(&actual, &site, Horizon::DayAhead, field);
             let fw = forecast_for(&actual, &site, Horizon::WeekAhead, field);
-            Ok(SiteState {
-                site,
-                actual,
-                f3,
-                fd,
-                fw,
-                apps: Vec::new(),
-                allocated_cores: 0,
-                budget_cores: cfg.cores_per_site,
-            })
+            let power = SitePower::build(&actual, &fd, cfg.cores_per_site, n_steps as usize);
+            Ok((
+                SiteState {
+                    site,
+                    actual,
+                    f3,
+                    fd,
+                    fw,
+                    apps: Vec::new(),
+                    dead: 0,
+                    allocated_cores: 0,
+                },
+                power,
+            ))
         })
         .into_iter()
         .collect::<Result<_, SimError>>()?;
+        let (sites, power): (Vec<SiteState>, Vec<SitePower>) = built.into_iter().unzip();
 
-        let n_steps = (cfg.days as u64) * STEPS_PER_DAY as u64;
+        let budget_total: Vec<u64> = (0..n_steps as usize)
+            .map(|t| power.iter().map(|p| p.budgets[t] as u64).sum())
+            .collect();
+
         let app_cfg = cfg.app_cfg.clone().unwrap_or_else(|| {
             // Size demand to ~70% of the group's mean available power.
             let mean_power: f64 = sites
@@ -309,9 +656,32 @@ impl GroupSim {
             AppGenConfig::sized_for(target)
         });
         let gen = AppGen::new(app_cfg, cfg.seed);
+        let n_sites = sites.len();
+        let ev = EventState {
+            enabled: cfg.core == SimCore::EventDriven,
+            drain_enabled: false,
+            expiry: vec![Vec::new(); n_steps as usize],
+            threat: vec![Vec::new(); n_steps as usize],
+            armed_threat: vec![NOT_ARMED; n_sites],
+            drain: vec![Vec::new(); n_steps as usize],
+            armed_drain: vec![NOT_ARMED; n_sites],
+            drain_worklist: BinaryHeap::new(),
+            in_drain_phase: false,
+            drain_phase_done: false,
+            drain_pos: 0,
+            hibernated_per_site: vec![0; n_sites],
+            min_hib_cores: vec![u32::MAX; n_sites],
+            group_allocated: 0,
+            hibernated_apps: 0,
+            stable_cores: vec![0; n_sites],
+            touched_stamp: vec![0; n_sites],
+            touched: Vec::new(),
+        };
         let sim = GroupSim {
             cfg,
             sites,
+            power,
+            budget_total,
             apps: Vec::new(),
             queue: Vec::new(),
             gen,
@@ -319,8 +689,11 @@ impl GroupSim {
             n_steps,
             preemptive_moves: 0,
             dropped_apps: 0,
+            vm_decisions: 0,
             moved_at: std::collections::HashMap::new(),
-            pending_moves: std::collections::VecDeque::new(),
+            pending_moves: VecDeque::new(),
+            resume_checked: vec![(u32::MAX, u32::MAX); n_sites],
+            ev,
         };
         Ok(sim)
     }
@@ -338,6 +711,9 @@ impl GroupSim {
     /// Run a policy and keep the full per-step telemetry alongside the
     /// summary (used by the figure benches and diagnostics).
     pub fn run_detailed(mut self, policy: &mut dyn Policy) -> DetailedRun {
+        let event = self.cfg.core == SimCore::EventDriven;
+        self.ev.enabled = event;
+        self.ev.drain_enabled = event && policy.preemptive_drain();
         let _run_span = vb_telemetry::span!("sched.group_run");
         vb_telemetry::event(
             "sched.run_start",
@@ -349,19 +725,53 @@ impl GroupSim {
         );
         let mut steps = Vec::with_capacity(self.n_steps as usize);
         let mut epoch_arrivals: Vec<AppSpec> = Vec::new();
+        // Per-step series rows accumulate locally and flush to the
+        // process-global series store once per run: the store is behind
+        // one mutex, and per-step sampling from every fleet-shard
+        // thread at once would serialize the whole fan-out on it.
+        let mut series = StepSeries::with_capacity(self.n_steps as usize);
+        // Run-local telemetry accumulators, applied to the process
+        // globals once after the loop: per-step atomic updates from
+        // every fleet-shard thread at once are measurable against the
+        // event core's per-step floor, and the final counter values are
+        // identical either way. (The per-step transfer histogram stays
+        // in the loop: its *distribution* is the signal.)
+        let mut tot_transfers: u64 = 0;
+        let mut tot_rehost_gb = 0.0_f64;
+        let mut tot_relaunch_gb = 0.0_f64;
+        let mut tot_move_gb = 0.0_f64;
+        let mut tot_stranded_gb = 0.0_f64;
+        // Wall-clock tracing at epoch granularity: a per-step span on a
+        // month-long fleet run is ~10⁵ trace events per shard — past the
+        // trace buffer caps and a per-step cost in its own right.
+        let mut epoch_span = None;
         for step in 0..self.n_steps {
-            let _step_span = vb_telemetry::span!("sched.sim_step");
+            if step % self.cfg.epoch_steps as u64 == 0 {
+                // Close the previous epoch's span before opening the
+                // next, so sibling epochs never nest.
+                drop(epoch_span.take());
+                epoch_span = Some(vb_telemetry::span!("sched.sim_epoch"));
+            }
             self.now = step;
+            self.ev.drain_phase_done = false;
             let mut stats = GroupStepStats {
                 step,
                 ..GroupStepStats::default()
             };
 
             // 1. Expirations.
-            self.expire();
+            if event {
+                self.expire_event();
+            } else {
+                self.expire_scan();
+            }
 
             // 2. Actual power → budgets; hibernate/evict as needed.
-            let evicted = self.apply_power(step);
+            let evicted = if event {
+                self.apply_power_event()
+            } else {
+                self.apply_power_scan()
+            };
 
             // 3. Re-place evicted apps on sibling sites (within their
             // subgraph when Fig 6 step-2 groups are configured).
@@ -369,8 +779,17 @@ impl GroupSim {
                 self.try_rehost(id, origin, policy, &mut stats);
             }
 
-            // 4. Resume hibernated apps; relaunch queued apps.
-            self.recover(policy, &mut stats);
+            // 4. Resume hibernated apps; relaunch queued apps. Shared
+            // by both drivers: `resume_site` returns in O(1) for sites
+            // with nothing hibernated (the fleet norm), and with an
+            // empty queue the relaunch loop calls no policy hooks, so
+            // skipping it cannot change behavior.
+            for s in 0..self.sites.len() {
+                self.resume_site(s);
+            }
+            if !self.queue.is_empty() {
+                self.relaunch_queue(policy, &mut stats);
+            }
 
             // 4b. Execute planned preemptive moves, rate-limited so
             // policy-ordered migrations spread over the epoch.
@@ -380,8 +799,13 @@ impl GroupSim {
             // sites whose day-ahead forecast shows a capacity deficit,
             // before the dip forces an eviction burst.
             if policy.preemptive_drain() {
-                self.preemptive_drain_step(policy, &mut stats);
+                if event {
+                    self.drain_step_event(policy, &mut stats);
+                } else {
+                    self.drain_step_scan(policy, &mut stats);
+                }
             }
+            self.ev.drain_phase_done = true;
 
             // 5. Collect this step's arrivals; plan at epoch boundaries.
             epoch_arrivals.extend(self.gen.step());
@@ -390,51 +814,71 @@ impl GroupSim {
                 self.plan_epoch(batch, policy);
             }
 
-            // 6. Bookkeeping.
+            // 6. Bookkeeping: the legacy driver derives the totals by
+            // full scans; the event driver reads its incremental
+            // counters (pinned equal by the differential tests).
             stats.queued_apps = self.queue.len();
-            stats.hibernated_apps = self
-                .apps
-                .iter()
-                .filter(|a| a.hibernated && a.site.is_some())
-                .count();
-            stats.allocated_cores = self.sites.iter().map(|s| s.allocated_cores as u64).sum();
-            stats.budget_cores = self.sites.iter().map(|s| s.budget_cores as u64).sum();
-            vb_telemetry::counter!("sched.transfers").add(stats.transfers as u64);
-            vb_telemetry::float_counter!("sched.rehost_gb").add(stats.rehost_gb);
-            vb_telemetry::float_counter!("sched.relaunch_gb").add(stats.relaunch_gb);
-            vb_telemetry::float_counter!("sched.move_gb").add(stats.move_gb);
-            vb_telemetry::float_counter!("sched.stranded_gb").add(stats.stranded_gb);
-            vb_telemetry::gauge!("sched.queued_apps").set(stats.queued_apps as f64);
+            stats.budget_cores = self.budget_total[step as usize];
+            let power_deficit_cores: u64;
+            if event {
+                stats.hibernated_apps = self.ev.hibernated_apps;
+                stats.allocated_cores = self.ev.group_allocated;
+                // Only sites whose allocation changed this step (or
+                // whose power threat fired) can carry a deficit: any
+                // untouched overloaded site would have had its armed
+                // threat fire this step, and threat processing always
+                // restores alloc ≤ budget before later phases re-raise
+                // it (touching the site).
+                let touched = std::mem::take(&mut self.ev.touched);
+                power_deficit_cores = touched
+                    .iter()
+                    .map(|&s| {
+                        (self.sites[s].allocated_cores as u64)
+                            .saturating_sub(self.budget_at(s, step) as u64)
+                    })
+                    .sum();
+                self.ev.touched = touched;
+                self.ev.touched.clear();
+            } else {
+                stats.hibernated_apps = self
+                    .apps
+                    .iter()
+                    .filter(|a| a.hibernated && a.site.is_some())
+                    .count();
+                stats.allocated_cores = self.sites.iter().map(|s| s.allocated_cores as u64).sum();
+                // Per-site shortfall, not the group-level difference:
+                // surplus at one site cannot power another, so only
+                // positive per-site deficits count.
+                power_deficit_cores = (0..self.sites.len())
+                    .map(|s| {
+                        (self.sites[s].allocated_cores as u64)
+                            .saturating_sub(self.budget_at(s, step) as u64)
+                    })
+                    .sum();
+            }
+            tot_transfers += stats.transfers as u64;
+            tot_rehost_gb += stats.rehost_gb;
+            tot_relaunch_gb += stats.relaunch_gb;
+            tot_move_gb += stats.move_gb;
+            tot_stranded_gb += stats.stranded_gb;
             vb_telemetry::histogram!("sched.step_transfer_gb").observe(stats.transfer_gb);
-            // Per-site shortfall, not the group-level difference: surplus
-            // at one site cannot power another, so only positive per-site
-            // deficits count.
-            let power_deficit_cores: u64 = self
-                .sites
-                .iter()
-                .map(|s| (s.allocated_cores as u64).saturating_sub(s.budget_cores as u64))
-                .sum();
-            vb_telemetry::series_sample(
-                "sched.step_series",
-                policy.name(),
-                step,
-                &[
-                    ("transfer_gb", stats.transfer_gb),
-                    ("move_gb", stats.move_gb),
-                    ("queued_apps", stats.queued_apps as f64),
-                    ("hibernated_apps", stats.hibernated_apps as f64),
-                    ("power_deficit_cores", power_deficit_cores as f64),
-                    ("allocated_cores", stats.allocated_cores as f64),
-                    ("budget_cores", stats.budget_cores as f64),
-                ],
-            );
+            series.push(step, &stats, power_deficit_cores);
             steps.push(stats);
         }
+        drop(epoch_span);
+        vb_telemetry::counter!("sched.transfers").add(tot_transfers);
+        vb_telemetry::float_counter!("sched.rehost_gb").add(tot_rehost_gb);
+        vb_telemetry::float_counter!("sched.relaunch_gb").add(tot_relaunch_gb);
+        vb_telemetry::float_counter!("sched.move_gb").add(tot_move_gb);
+        vb_telemetry::float_counter!("sched.stranded_gb").add(tot_stranded_gb);
+        vb_telemetry::gauge!("sched.queued_apps").set(self.queue.len() as f64);
+        series.flush(policy.name());
         let summary = PolicySummary::from_steps(
             policy.name(),
             &steps,
             self.preemptive_moves,
             self.dropped_apps,
+            self.vm_decisions,
         );
         vb_telemetry::event(
             "sched.run_complete",
@@ -449,71 +893,249 @@ impl GroupSim {
         DetailedRun { steps, summary }
     }
 
-    fn expire(&mut self) {
+    /// The powered-core budget of site `s` at `step` (precomputed).
+    /// Out-of-range steps (defensive; the step loop never exceeds
+    /// `n_steps`) read as zero power with a gap counter, not a panic.
+    fn budget_at(&self, s: usize, step: u64) -> u32 {
+        self.power[s]
+            .budgets
+            .get(step as usize)
+            .copied()
+            .unwrap_or_else(|| {
+                vb_telemetry::counter!("sched.budget_gap_steps").inc();
+                0
+            })
+    }
+
+    /// Mark a site's allocation as changed this step (event driver's
+    /// deficit bookkeeping); deduplicated via step stamps.
+    fn touch(&mut self, s: usize) {
+        if !self.ev.enabled {
+            return;
+        }
+        let stamp = self.now + 1;
+        if self.ev.touched_stamp[s] != stamp {
+            self.ev.touched_stamp[s] = stamp;
+            self.ev.touched.push(s);
+        }
+    }
+
+    /// (Re-)arm site `s`'s power-threat wake-up: the earliest future
+    /// step where its precomputed budget drops below the current
+    /// allocation. Called on every allocation increase; decreases leave
+    /// a possibly-early wake-up behind, which the firing path detects
+    /// as a no-op (the lazy-invalidation half of the invariant *armed
+    /// step ≤ earliest real violation*).
+    fn arm_threat(&mut self, s: usize) {
+        if !self.ev.enabled {
+            return;
+        }
+        // The power phase for the current step has already run by the
+        // time any allocation increase can happen, so the next check
+        // that could fire is at `now + 1` — exactly when the legacy
+        // loop would next compare this site's budget.
+        let from = (self.now + 1) as usize;
+        match self.power[s].next_budget_below(from, self.sites[s].allocated_cores) {
+            Some(t) => {
+                if self.ev.armed_threat[s] == t as u64 {
+                    return; // already queued for exactly this step
+                }
+                self.ev.armed_threat[s] = t as u64;
+                if let Some(bucket) = self.ev.threat.get_mut(t) {
+                    bucket.push(s);
+                } else {
+                    self.ev.armed_threat[s] = NOT_ARMED;
+                }
+            }
+            None => self.ev.armed_threat[s] = NOT_ARMED,
+        }
+    }
+
+    /// (Re-)arm site `s`'s preemptive-drain wake-up: the earliest step
+    /// where the day-ahead admissible floor drops below the site's
+    /// stable cores. The target step must respect the phase the step
+    /// loop is in: before this step's drain phase, the site may still
+    /// be processed *this* step (ascending order, like the legacy
+    /// scan); afterwards the next opportunity is the following step.
+    fn arm_drain(&mut self, s: usize) {
+        if !self.ev.enabled || !self.ev.drain_enabled {
+            return;
+        }
+        let from = if self.ev.in_drain_phase {
+            if s > self.ev.drain_pos {
+                self.now // the ascending scan has not reached s yet
+            } else {
+                self.now + 1
+            }
+        } else if self.ev.drain_phase_done {
+            self.now + 1
+        } else {
+            self.now
+        } as usize;
+        let stable = self.ev.stable_cores[s] as f64;
+        let cores_f = self.cfg.cores_per_site as f64;
+        match self.power[s].next_fd24_below(from, stable, cores_f, self.cfg.target_util) {
+            Some(t) => {
+                if self.ev.armed_drain[s] == t as u64 {
+                    return;
+                }
+                self.ev.armed_drain[s] = t as u64;
+                if t as u64 == self.now && self.ev.in_drain_phase {
+                    self.ev.drain_worklist.push(Reverse(s));
+                } else if let Some(bucket) = self.ev.drain.get_mut(t) {
+                    bucket.push(s);
+                } else {
+                    self.ev.armed_drain[s] = NOT_ARMED;
+                }
+            }
+            None => self.ev.armed_drain[s] = NOT_ARMED,
+        }
+    }
+
+    /// Legacy phase 1: scan every registered app for expiry.
+    fn expire_scan(&mut self) {
         let now = self.now;
         for id in 0..self.apps.len() {
             if self.apps[id].site.is_some() && self.apps[id].departs_at <= now {
                 self.detach(AppId(id));
             }
         }
-        // Queued apps whose lifetime lapsed never came back: drop them.
+        self.drop_expired_queued();
+    }
+
+    /// Event phase 1: only apps whose departure bucket is due.
+    fn expire_event(&mut self) {
+        let now = self.now as usize;
+        let due = match self.ev.expiry.get_mut(now) {
+            Some(bucket) => std::mem::take(bucket),
+            None => return,
+        };
+        if due.is_empty() {
+            return;
+        }
+        let mut queue_drops = false;
+        for &id in &due {
+            debug_assert!(self.apps[id.0].departs_at <= self.now);
+            if self.apps[id.0].site.is_some() {
+                self.detach(id);
+            } else if self.apps[id.0].in_queue {
+                queue_drops = true;
+            }
+        }
+        if queue_drops {
+            self.drop_expired_queued();
+        }
+    }
+
+    /// Queued apps whose lifetime lapsed never came back: drop them.
+    fn drop_expired_queued(&mut self) {
+        let now = self.now;
         let before = self.queue.len();
-        let apps = &self.apps;
-        self.queue.retain(|id| apps[id.0].departs_at > now);
+        let apps = &mut self.apps;
+        self.queue.retain(|id| {
+            let keep = apps[id.0].departs_at > now;
+            if !keep {
+                apps[id.0].in_queue = false;
+            }
+            keep
+        });
         self.dropped_apps += before - self.queue.len();
     }
 
-    /// Set budgets from actual power; hibernate degradable then evict
-    /// stable apps at overloaded sites. Returns evicted stable apps with
-    /// their origin site.
-    fn apply_power(&mut self, step: u64) -> Vec<(AppId, usize)> {
+    /// Legacy phase 2: every site re-checks its budget every step.
+    fn apply_power_scan(&mut self) -> Vec<(AppId, usize)> {
         let mut evicted = Vec::new();
         for s in 0..self.sites.len() {
-            let frac = self.sites[s].actual.values[step as usize].clamp(0.0, 1.0);
-            let budget = (frac * self.cfg.cores_per_site as f64).floor() as u32;
-            self.sites[s].budget_cores = budget;
-
-            // Hibernate degradable apps first (oldest resident first).
-            if self.sites[s].allocated_cores > budget {
-                let victims: Vec<AppId> = self.sites[s]
-                    .apps
-                    .iter()
-                    .copied()
-                    .filter(|id| {
-                        let a = &self.apps[id.0];
-                        !a.hibernated && a.spec.kind == VmKind::Degradable
-                    })
-                    .collect();
-                for id in victims {
-                    if self.sites[s].allocated_cores <= budget {
-                        break;
-                    }
-                    self.apps[id.0].hibernated = true;
-                    self.sites[s].allocated_cores -= self.apps[id.0].spec.cores();
-                }
-            }
-
-            // Evict stable apps (oldest resident first).
-            if self.sites[s].allocated_cores > budget {
-                let victims: Vec<AppId> = self.sites[s]
-                    .apps
-                    .iter()
-                    .copied()
-                    .filter(|id| {
-                        let a = &self.apps[id.0];
-                        !a.hibernated && a.spec.kind == VmKind::Stable
-                    })
-                    .collect();
-                for id in victims {
-                    if self.sites[s].allocated_cores <= budget {
-                        break;
-                    }
-                    self.detach(id);
-                    evicted.push((id, s));
-                }
-            }
+            self.apply_power_site(s, &mut evicted);
         }
         evicted
+    }
+
+    /// Event phase 2: only sites whose armed power threat fires now.
+    /// Entries whose armed step moved on (the site re-armed after an
+    /// allocation change) are stale and skipped.
+    fn apply_power_event(&mut self) -> Vec<(AppId, usize)> {
+        let mut evicted = Vec::new();
+        let now = self.now as usize;
+        let entries = match self.ev.threat.get_mut(now) {
+            Some(bucket) => std::mem::take(bucket),
+            None => return evicted,
+        };
+        if entries.is_empty() {
+            return evicted;
+        }
+        let mut woken: Vec<usize> = Vec::with_capacity(entries.len());
+        let mut stale = 0u64;
+        for s in entries {
+            if self.ev.armed_threat[s] == self.now {
+                woken.push(s);
+            } else {
+                stale += 1;
+            }
+        }
+        if stale > 0 {
+            vb_telemetry::counter!("sched.stale_events").add(stale);
+        }
+        woken.sort_unstable();
+        woken.dedup();
+        vb_telemetry::counter!("sched.event_wakeups").add(woken.len() as u64);
+        for s in woken {
+            self.ev.armed_threat[s] = NOT_ARMED;
+            // A threat may have gone moot (allocation shrank without
+            // re-arming); `apply_power_site` is then a no-op, but the
+            // site still counts as touched for deficit bookkeeping.
+            self.touch(s);
+            self.apply_power_site(s, &mut evicted);
+            self.arm_threat(s);
+        }
+        evicted
+    }
+
+    /// Hibernate degradable then evict stable apps at one overloaded
+    /// site (oldest resident first) — shared by both drivers.
+    fn apply_power_site(&mut self, s: usize, evicted: &mut Vec<(AppId, usize)>) {
+        let budget = self.budget_at(s, self.now);
+
+        // Hibernate degradable apps first (oldest resident first).
+        // `hibernate` leaves the resident list untouched, so the scan
+        // walks it in place and stops at the first index that brings
+        // the site back under budget — a gradual dusk decline then
+        // costs O(apps hibernated), not O(residents) per step.
+        let mut i = 0;
+        while self.sites[s].allocated_cores > budget && i < self.sites[s].apps.len() {
+            let id = self.sites[s].apps[i];
+            i += 1;
+            if id == TOMBSTONE {
+                continue;
+            }
+            let a = &self.apps[id.0];
+            if !a.hibernated && a.spec.kind == VmKind::Degradable {
+                self.hibernate(id, s);
+            }
+        }
+
+        // Evict stable apps (oldest resident first).
+        if self.sites[s].allocated_cores > budget {
+            let victims: Vec<AppId> = self.sites[s]
+                .apps
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    if id == TOMBSTONE {
+                        return false;
+                    }
+                    let a = &self.apps[id.0];
+                    !a.hibernated && a.spec.kind == VmKind::Stable
+                })
+                .collect();
+            for id in victims {
+                if self.sites[s].allocated_cores <= budget {
+                    break;
+                }
+                self.detach(id);
+                evicted.push((id, s));
+            }
+        }
     }
 
     /// Try to host an evicted app on a sibling site chosen by the
@@ -527,13 +1149,7 @@ impl GroupSim {
         stats: &mut GroupStepStats,
     ) {
         let cores = self.apps[id.0].spec.cores();
-        let allowed = self.movable_targets(origin);
-        let snapshots = self.snapshots();
-        let restricted: Vec<SiteSnapshot> = allowed.iter().map(|&i| snapshots[i]).collect();
-        match policy
-            .choose_rehost(&restricted, cores)
-            .map(|local| allowed[local])
-        {
+        match self.choose_target(origin, cores, policy) {
             Some(s) => {
                 self.attach(id, s);
                 stats.transfer_gb += self.apps[id.0].spec.mem_gb();
@@ -542,44 +1158,101 @@ impl GroupSim {
             }
             None => {
                 stats.stranded_gb += self.apps[id.0].spec.mem_gb();
-                self.queue.push(id);
+                self.queue_push(id);
             }
         }
     }
 
-    /// Resume hibernated apps where budgets allow, then relaunch queued
-    /// apps anywhere with room (relaunch = WAN traffic).
-    fn recover(&mut self, policy: &mut dyn Policy, stats: &mut GroupStepStats) {
-        for s in 0..self.sites.len() {
-            let resident: Vec<AppId> = self.sites[s].apps.clone();
-            for id in resident {
-                if !self.apps[id.0].hibernated {
-                    continue;
-                }
-                let cores = self.apps[id.0].spec.cores();
-                if self.sites[s].allocated_cores + cores <= self.sites[s].budget_cores {
-                    self.apps[id.0].hibernated = false;
-                    self.sites[s].allocated_cores += cores;
-                }
+    /// Ask the policy for a re-host/relaunch target for an app of
+    /// `cores` whose last site was `from`. Without subgraphs every site
+    /// is allowed, so the policy sees the full snapshot slice and local
+    /// indices are global — the restricted copy is pure overhead.
+    fn choose_target(&mut self, from: usize, cores: u32, policy: &mut dyn Policy) -> Option<usize> {
+        let snapshots = self.snapshots();
+        if self.cfg.subgraphs.is_none() {
+            return policy.choose_rehost(&snapshots, cores);
+        }
+        let allowed = self.movable_targets(from);
+        let restricted: Vec<SiteSnapshot> = allowed.iter().map(|&i| snapshots[i]).collect();
+        policy
+            .choose_rehost(&restricted, cores)
+            .map(|local| allowed[local])
+    }
+
+    /// Resume hibernated apps at one site where its budget allows,
+    /// oldest resident first — shared by both drivers.
+    fn resume_site(&mut self, s: usize) {
+        // Nothing hibernated here: the scan would visit every resident
+        // for nothing (the legacy driver calls this for every site,
+        // every step).
+        if self.ev.hibernated_per_site[s] == 0 {
+            return;
+        }
+        let budget = self.budget_at(s, self.now);
+        let alloc = self.sites[s].allocated_cores;
+        // A resume attempt is a pure function of (resident order,
+        // hibernated flags, allocation, budget). Since the last attempt
+        // left `(allocation, budget)` at the memoized pair, every state
+        // change that could newly enable a resume moved the allocation
+        // (hibernate/resume/attach/detach of an active app) or the
+        // budget; a hibernated app departing changes neither and only
+        // removes a candidate. Unchanged pair ⇒ the attempt would
+        // resume nothing — skip the resident scan (a solar site parked
+        // at zero budget overnight costs O(1) per step, not O(apps)).
+        if self.resume_checked[s] == (alloc, budget) {
+            return;
+        }
+        // Even the smallest hibernated app cannot fit under the current
+        // headroom (the bound only ever runs stale *low*, so a pass
+        // here can still mean no candidate fits — never the reverse).
+        if alloc.saturating_add(self.ev.min_hib_cores[s]) > budget {
+            return;
+        }
+        // Stop once every hibernated resident has been visited: the
+        // list tail past the last hibernated app holds only running
+        // apps and tombstones, which the scan would skip one by one.
+        let mut remaining = self.ev.hibernated_per_site[s];
+        let mut resumed_any = false;
+        for i in 0..self.sites[s].apps.len() {
+            if remaining == 0 {
+                break;
+            }
+            let id = self.sites[s].apps[i];
+            if id == TOMBSTONE || !self.apps[id.0].hibernated {
+                continue;
+            }
+            remaining -= 1;
+            let cores = self.apps[id.0].spec.cores();
+            if self.sites[s].allocated_cores + cores <= budget {
+                self.resume(id, s);
+                resumed_any = true;
             }
         }
+        // One threat re-arm for the whole batch: each resume raises the
+        // allocation, and a higher allocation's trigger step is never
+        // later than a lower one's, so the final arm dominates every
+        // intermediate arm the per-resume path would have pushed.
+        if resumed_any {
+            self.arm_threat(s);
+        }
+        self.resume_checked[s] = (self.sites[s].allocated_cores, budget);
+    }
+
+    /// Relaunch queued apps anywhere with room (relaunch = WAN
+    /// traffic); failures re-queue in order.
+    fn relaunch_queue(&mut self, policy: &mut dyn Policy, stats: &mut GroupStepStats) {
         let queued = std::mem::take(&mut self.queue);
         for id in queued {
             let cores = self.apps[id.0].spec.cores();
-            let allowed = self.movable_targets(self.apps[id.0].last_site);
-            let snapshots = self.snapshots();
-            let restricted: Vec<SiteSnapshot> = allowed.iter().map(|&i| snapshots[i]).collect();
-            match policy
-                .choose_rehost(&restricted, cores)
-                .map(|local| allowed[local])
-            {
+            let from = self.apps[id.0].last_site;
+            match self.choose_target(from, cores, policy) {
                 Some(s) => {
                     self.attach(id, s);
                     stats.transfer_gb += self.apps[id.0].spec.mem_gb();
                     stats.relaunch_gb += self.apps[id.0].spec.mem_gb();
                     stats.transfers += 1;
                 }
-                None => self.queue.push(id),
+                None => self.queue_push(id),
             }
         }
     }
@@ -598,25 +1271,28 @@ impl GroupSim {
         }
     }
 
-    /// Per-site state snapshots for runtime re-hosting decisions.
+    /// Per-site state snapshots for runtime re-hosting decisions. The
+    /// day-ahead minimum comes from the precomputed sliding-window
+    /// minima — identical to the legacy per-step fold over
+    /// [`day_ahead_window`], including the documented tail shortening.
     fn snapshots(&self) -> Vec<SiteSnapshot> {
-        self.sites
-            .iter()
-            .map(|st| {
-                let cap = (self.cfg.target_util * st.budget_cores as f64).floor() as u32;
-                let lo = self.now as usize;
-                let hi = (lo + DAY_AHEAD_STEPS).min(st.fd.len());
-                let min_frac = if lo < hi {
-                    st.fd.values[lo..hi]
-                        .iter()
-                        .copied()
-                        .fold(f64::INFINITY, f64::min)
-                } else {
-                    0.0
-                };
+        let now = self.now as usize;
+        (0..self.sites.len())
+            .map(|s| {
+                let budget = self.budget_at(s, self.now);
+                let cap = (self.cfg.target_util * budget as f64).floor() as u32;
+                let raw = self.power[s]
+                    .fd_min24
+                    .get(now)
+                    .copied()
+                    .unwrap_or(f64::INFINITY);
+                // `+∞` marks an empty window (past the forecast end,
+                // unreachable while `now < n_steps`); the legacy fold
+                // reported 0.0 there.
+                let min_frac = if raw.is_finite() { raw } else { 0.0 };
                 SiteSnapshot {
-                    budget_cores: st.budget_cores,
-                    allocated_cores: st.allocated_cores,
+                    budget_cores: budget,
+                    allocated_cores: self.sites[s].allocated_cores,
                     total_cores: self.cfg.cores_per_site,
                     admission_cap: cap,
                     forecast_min_24h_cores: min_frac
@@ -634,13 +1310,22 @@ impl GroupSim {
             .into_iter()
             .map(|spec| {
                 let id = AppId(self.apps.len());
+                let departs_at = self.now + spec.lifetime_steps as u64;
                 self.apps.push(AppState {
                     spec,
                     site: None,
                     last_site: 0,
                     hibernated: false,
-                    departs_at: self.now + spec.lifetime_steps as u64,
+                    in_queue: false,
+                    departs_at,
+                    slot: 0,
                 });
+                // Lifetimes are ≥ 1 step, so the bucket is always ahead
+                // of the current step; departures past the horizon never
+                // fire (the legacy scan never saw them expire either).
+                if self.ev.enabled && departs_at < self.n_steps {
+                    self.ev.expiry[departs_at as usize].push(id);
+                }
                 NewApp { id, spec }
             })
             .collect();
@@ -668,7 +1353,7 @@ impl GroupSim {
         // Any new app the policy failed to assign goes to the queue.
         for a in &new_apps {
             if self.apps[a.id.0].site.is_none() {
-                self.queue.push(a.id);
+                self.queue_push(a.id);
             }
         }
     }
@@ -698,98 +1383,166 @@ impl GroupSim {
         vb_telemetry::counter!("sched.moves_executed").add(executed as u64);
     }
 
-    /// One step of preemptive draining: for each site whose committed
-    /// stable cores exceed the worst admissible capacity of the next
-    /// 24 h, move the *smallest* stable apps to policy-chosen homes —
-    /// rate-limited to `moves_per_step`, so a predicted dip drains as a
-    /// stream of small transfers instead of one burst ("performing more
-    /// number of migrations … but each at a lower volume", §3.1).
-    fn preemptive_drain_step(&mut self, policy: &mut dyn Policy, stats: &mut GroupStepStats) {
+    /// Legacy phase 4c: scan every site in ascending order for a
+    /// day-ahead capacity deficit, draining as budget allows.
+    fn drain_step_scan(&mut self, policy: &mut dyn Policy, stats: &mut GroupStepStats) {
         let mut moved = 0usize;
         for s in 0..self.sites.len() {
             if moved >= self.cfg.moves_per_step {
                 break;
             }
-            let snapshots = self.snapshots();
-            let stable_cores: f64 = self.sites[s]
-                .apps
-                .iter()
-                .filter(|id| {
-                    let a = &self.apps[id.0];
-                    a.spec.kind == VmKind::Stable && !a.hibernated
-                })
-                .map(|id| self.apps[id.0].spec.cores() as f64)
-                .sum();
-            let mut deficit = stable_cores - snapshots[s].forecast_min_24h_cores;
-            if deficit <= 0.0 {
-                continue;
-            }
-            // Smallest stable apps first, skipping recently moved ones.
-            let mut victims: Vec<AppId> = self.sites[s]
-                .apps
-                .iter()
-                .copied()
-                .filter(|id| {
-                    let a = &self.apps[id.0];
-                    a.spec.kind == VmKind::Stable
-                        && !a.hibernated
-                        && a.departs_at > self.now + 24
-                        && self
-                            .moved_at
-                            .get(id)
-                            .is_none_or(|&t| self.now >= t + STEPS_PER_DAY as u64)
-                })
-                .collect();
-            victims.sort_by(|a, b| {
-                self.apps[a.0]
-                    .spec
-                    .mem_gb()
-                    .total_cmp(&self.apps[b.0].spec.mem_gb())
-            });
-            for id in victims {
-                if deficit <= 0.0 || moved >= self.cfg.moves_per_step {
-                    break;
-                }
-                let cores = self.apps[id.0].spec.cores();
-                let allowed = self.movable_targets(s);
-                let snapshots = self.snapshots();
-                let restricted: Vec<SiteSnapshot> = allowed.iter().map(|&i| snapshots[i]).collect();
-                let Some(target) = policy
-                    .choose_rehost(&restricted, cores)
-                    .map(|local| allowed[local])
-                else {
-                    break;
-                };
-                // Only drain toward genuinely safer ground.
-                let score = |t: usize| {
-                    snapshots[t].forecast_min_24h_cores - snapshots[t].allocated_cores as f64
-                };
-                if target == s || score(target) <= score(s) {
-                    break;
-                }
-                self.detach(id);
-                self.attach(id, target);
-                stats.transfer_gb += self.apps[id.0].spec.mem_gb();
-                stats.move_gb += self.apps[id.0].spec.mem_gb();
-                stats.transfers += 1;
-                self.preemptive_moves += 1;
-                self.moved_at.insert(id, self.now);
-                deficit -= cores as f64;
-                moved += 1;
-            }
+            self.drain_site(s, policy, stats, &mut moved);
         }
         vb_telemetry::counter!("sched.drain_moves").add(moved as u64);
+    }
+
+    /// Event phase 4c: only sites whose armed drain deadline fires now,
+    /// processed in ascending site order via a worklist. A drain move
+    /// landing on a *later* site can tip it into deficit mid-phase;
+    /// `arm_drain`'s phase-aware `from` pushes such sites back into the
+    /// live worklist, reproducing the legacy ascending scan exactly.
+    fn drain_step_event(&mut self, policy: &mut dyn Policy, stats: &mut GroupStepStats) {
+        self.ev.in_drain_phase = true;
+        self.ev.drain_pos = 0;
+        let now = self.now as usize;
+        if let Some(bucket) = self.ev.drain.get_mut(now) {
+            let entries = std::mem::take(bucket);
+            let mut stale = 0u64;
+            for s in entries {
+                if self.ev.armed_drain[s] == self.now {
+                    self.ev.drain_worklist.push(Reverse(s));
+                } else {
+                    stale += 1;
+                }
+            }
+            if stale > 0 {
+                vb_telemetry::counter!("sched.stale_events").add(stale);
+            }
+        }
+        let mut moved = 0usize;
+        while let Some(Reverse(s)) = self.ev.drain_worklist.pop() {
+            if self.ev.armed_drain[s] != self.now {
+                continue; // duplicate/stale worklist entry
+            }
+            self.ev.armed_drain[s] = NOT_ARMED;
+            self.ev.drain_pos = s;
+            if moved < self.cfg.moves_per_step {
+                // `drain_site` re-derives the deficit from live state,
+                // so a wake-up gone moot is a no-op, same as legacy.
+                self.drain_site(s, policy, stats, &mut moved);
+            }
+            self.arm_drain(s);
+        }
+        self.ev.in_drain_phase = false;
+        vb_telemetry::counter!("sched.drain_moves").add(moved as u64);
+    }
+
+    /// One site's preemptive draining: when committed stable cores
+    /// exceed the worst admissible capacity of the next 24 h, move the
+    /// *smallest* stable apps to policy-chosen homes — rate-limited to
+    /// `moves_per_step`, so a predicted dip drains as a stream of small
+    /// transfers instead of one burst ("performing more number of
+    /// migrations … but each at a lower volume", §3.1).
+    fn drain_site(
+        &mut self,
+        s: usize,
+        policy: &mut dyn Policy,
+        stats: &mut GroupStepStats,
+        moved: &mut usize,
+    ) {
+        let snapshots = self.snapshots();
+        let stable_cores: f64 = self.sites[s]
+            .apps
+            .iter()
+            .filter(|&&id| {
+                if id == TOMBSTONE {
+                    return false;
+                }
+                let a = &self.apps[id.0];
+                a.spec.kind == VmKind::Stable && !a.hibernated
+            })
+            .map(|id| self.apps[id.0].spec.cores() as f64)
+            .sum();
+        let mut deficit = stable_cores - snapshots[s].forecast_min_24h_cores;
+        if deficit <= 0.0 {
+            return;
+        }
+        // Smallest stable apps first, skipping recently moved ones.
+        let mut victims: Vec<AppId> = self.sites[s]
+            .apps
+            .iter()
+            .copied()
+            .filter(|&id| {
+                if id == TOMBSTONE {
+                    return false;
+                }
+                let a = &self.apps[id.0];
+                a.spec.kind == VmKind::Stable
+                    && !a.hibernated
+                    && a.departs_at > self.now + 24
+                    && self
+                        .moved_at
+                        .get(&id)
+                        .is_none_or(|&t| self.now >= t + STEPS_PER_DAY as u64)
+            })
+            .collect();
+        victims.sort_by(|a, b| {
+            self.apps[a.0]
+                .spec
+                .mem_gb()
+                .total_cmp(&self.apps[b.0].spec.mem_gb())
+        });
+        for id in victims {
+            if deficit <= 0.0 || *moved >= self.cfg.moves_per_step {
+                break;
+            }
+            let cores = self.apps[id.0].spec.cores();
+            let allowed = self.movable_targets(s);
+            let snapshots = self.snapshots();
+            let restricted: Vec<SiteSnapshot> = allowed.iter().map(|&i| snapshots[i]).collect();
+            let Some(target) = policy
+                .choose_rehost(&restricted, cores)
+                .map(|local| allowed[local])
+            else {
+                break;
+            };
+            // Only drain toward genuinely safer ground.
+            let score = |t: usize| {
+                snapshots[t].forecast_min_24h_cores - snapshots[t].allocated_cores as f64
+            };
+            if target == s || score(target) <= score(s) {
+                break;
+            }
+            self.detach(id);
+            self.attach(id, target);
+            stats.transfer_gb += self.apps[id.0].spec.mem_gb();
+            stats.move_gb += self.apps[id.0].spec.mem_gb();
+            stats.transfers += 1;
+            self.preemptive_moves += 1;
+            self.moved_at.insert(id, self.now);
+            deficit -= cores as f64;
+            *moved += 1;
+        }
     }
 
     /// Stable apps at sites whose forecast shows a capacity deficit,
     /// largest first, capped at `max_movable`.
     fn pick_movable(&self) -> Vec<MovableApp> {
+        if self.cfg.max_movable == 0 {
+            // Policies that never move residents (Greedy, MIP-24h)
+            // would scan every at-risk site's apps only to truncate to
+            // nothing.
+            return Vec::new();
+        }
         let mut out = Vec::new();
         for (s, site) in self.sites.iter().enumerate() {
             if !self.site_at_risk(s) {
                 continue;
             }
             for &id in &site.apps {
+                if id == TOMBSTONE {
+                    continue;
+                }
                 let a = &self.apps[id.0];
                 // Anti-thrash cooldown: an app moved preemptively in the
                 // last 12 h is not offered again.
@@ -814,35 +1567,48 @@ impl GroupSim {
     }
 
     /// Does the day-ahead forecast show this site's committed cores
-    /// exceeding capacity at any point in the next day?
+    /// exceeding capacity at any point in the next day? Reads the
+    /// precomputed window minimum: `∃t: forecast[t] × cores <
+    /// committed` holds iff it holds at the window minimum (multiplying
+    /// by a non-negative constant preserves order), and an empty tail
+    /// window (`+∞` minimum) is risk-free, matching the legacy
+    /// `any()` over an empty slice.
     fn site_at_risk(&self, s: usize) -> bool {
-        let site = &self.sites[s];
-        let committed = site.allocated_cores as f64;
-        let end = (self.now as usize + DAY_AHEAD_STEPS).min(site.fd.len());
-        site.fd.values[self.now as usize..end]
-            .iter()
-            .any(|&f| (f * self.cfg.cores_per_site as f64) < committed)
+        let committed = self.sites[s].allocated_cores as f64;
+        let min_frac = self.power[s]
+            .fd_min24
+            .get(self.now as usize)
+            .copied()
+            .unwrap_or(f64::INFINITY);
+        (min_frac * self.cfg.cores_per_site as f64) < committed
     }
 
     fn build_context(&self, new_apps: &[NewApp], movable: &[MovableApp]) -> PlanContext {
         let bucket = (self.cfg.bucket_steps as usize).max(1);
         let remaining = (self.n_steps - self.now) as usize;
-        let buckets = remaining
-            .div_ceil(bucket)
-            .clamp(1, (7 * STEPS_PER_DAY as usize) / bucket);
+        // Cap the look-ahead at a week of buckets; `.max(1)` keeps the
+        // clamp range valid when one bucket already covers more than a
+        // week (`bucket_steps > WEEK_AHEAD_STEPS` used to panic here:
+        // `clamp` requires min ≤ max).
+        let week_buckets = (WEEK_AHEAD_STEPS / bucket).max(1);
+        let buckets = remaining.div_ceil(bucket).clamp(1, week_buckets);
 
         let movable_ids: Vec<AppId> = movable.iter().map(|m| m.id).collect();
         let sites = self
             .sites
             .iter()
-            .map(|st| {
+            .enumerate()
+            .map(|(si, st)| {
                 // Degradable running cores absorb dips without traffic:
                 // credit them to forecast capacity rather than charging
                 // them as displaceable load.
                 let degradable: f64 = st
                     .apps
                     .iter()
-                    .filter(|id| {
+                    .filter(|&&id| {
+                        if id == TOMBSTONE {
+                            return false;
+                        }
                         let a = &self.apps[id.0];
                         a.spec.kind == VmKind::Degradable && !a.hibernated
                     })
@@ -877,28 +1643,41 @@ impl GroupSim {
                         mean_frac * self.cfg.cores_per_site as f64 * self.cfg.target_util
                             + degradable,
                     );
+                }
 
-                    // Committed stable cores at the bucket start,
-                    // excluding apps offered as movable.
+                // Committed stable cores at each bucket start,
+                // excluding apps offered as movable. One departure-
+                // sorted sweep instead of a per-bucket rescan: core
+                // counts are integers, so the f64 running sum is exact
+                // and bit-identical to summing each bucket's survivors
+                // in residence order.
+                let mut departures: Vec<(u64, u32)> = st
+                    .apps
+                    .iter()
+                    .filter(|&&id| {
+                        if id == TOMBSTONE {
+                            return false;
+                        }
+                        let a = &self.apps[id.0];
+                        a.spec.kind == VmKind::Stable && !a.hibernated && !movable_ids.contains(&id)
+                    })
+                    .map(|id| (self.apps[id.0].departs_at, self.apps[id.0].spec.cores()))
+                    .collect();
+                departures.sort_unstable_by_key(|&(d, _)| d);
+                let mut alive: f64 = departures.iter().map(|&(_, c)| c as u64).sum::<u64>() as f64;
+                let mut next_departure = 0usize;
+                for b in 0..buckets {
                     let t = (self.now as usize + b * bucket) as u64;
-                    let stable: f64 = st
-                        .apps
-                        .iter()
-                        .filter(|id| {
-                            let a = &self.apps[id.0];
-                            a.spec.kind == VmKind::Stable
-                                && !a.hibernated
-                                && a.departs_at > t
-                                && !movable_ids.contains(id)
-                        })
-                        .map(|id| self.apps[id.0].spec.cores() as f64)
-                        .sum();
-                    committed.push(stable);
+                    while next_departure < departures.len() && departures[next_departure].0 <= t {
+                        alive -= departures[next_departure].1 as f64;
+                        next_departure += 1;
+                    }
+                    committed.push(alive);
                 }
                 SitePlanInfo {
                     name: st.site.name.clone(),
                     total_cores: self.cfg.cores_per_site,
-                    current_budget_cores: st.budget_cores,
+                    current_budget_cores: self.budget_at(si, self.now),
                     allocated_cores: st.allocated_cores,
                     capacity_forecast_cores: capacity,
                     committed_cores: committed,
@@ -914,24 +1693,123 @@ impl GroupSim {
         }
     }
 
+    /// Push an app onto the relaunch queue (tracking membership for the
+    /// event driver's expiry handling).
+    fn queue_push(&mut self, id: AppId) {
+        self.apps[id.0].in_queue = true;
+        self.queue.push(id);
+    }
+
     fn attach(&mut self, id: AppId, s: usize) {
         debug_assert!(self.apps[id.0].site.is_none());
+        let cores = self.apps[id.0].spec.cores();
         self.apps[id.0].site = Some(s);
         self.apps[id.0].last_site = s;
         self.apps[id.0].hibernated = false;
+        self.apps[id.0].in_queue = false;
+        self.apps[id.0].slot = self.sites[s].apps.len();
         self.sites[s].apps.push(id);
-        self.sites[s].allocated_cores += self.apps[id.0].spec.cores();
+        self.sites[s].allocated_cores += cores;
+        self.ev.group_allocated += cores as u64;
+        self.vm_decisions += self.apps[id.0].spec.n_vms as u64;
+        if self.apps[id.0].spec.kind == VmKind::Stable {
+            self.ev.stable_cores[s] += cores as u64;
+            self.arm_drain(s);
+        }
+        self.touch(s);
+        self.arm_threat(s);
     }
 
     fn detach(&mut self, id: AppId) {
         if let Some(s) = self.apps[id.0].site.take() {
-            self.sites[s].apps.retain(|&a| a != id);
-            if !self.apps[id.0].hibernated {
-                self.sites[s].allocated_cores -= self.apps[id.0].spec.cores();
+            // O(1) removal: tombstone the slot; compact (preserving
+            // relative order) once dead entries outnumber live ones, so
+            // the amortized cost per departure stays constant and scans
+            // over the list never see more than ~half waste.
+            let slot = self.apps[id.0].slot;
+            debug_assert_eq!(self.sites[s].apps[slot], id);
+            self.sites[s].apps[slot] = TOMBSTONE;
+            self.sites[s].dead += 1;
+            if self.sites[s].dead * 2 > self.sites[s].apps.len() {
+                let old = std::mem::take(&mut self.sites[s].apps);
+                let mut kept = Vec::with_capacity(old.len() - self.sites[s].dead);
+                for a in old {
+                    if a != TOMBSTONE {
+                        self.apps[a.0].slot = kept.len();
+                        kept.push(a);
+                    }
+                }
+                self.sites[s].apps = kept;
+                self.sites[s].dead = 0;
             }
-            self.apps[id.0].hibernated = false;
+            let cores = self.apps[id.0].spec.cores();
+            if !self.apps[id.0].hibernated {
+                self.sites[s].allocated_cores -= cores;
+                self.ev.group_allocated -= cores as u64;
+                if self.apps[id.0].spec.kind == VmKind::Stable {
+                    self.ev.stable_cores[s] -= cores as u64;
+                    self.arm_drain(s);
+                }
+                self.touch(s);
+            } else {
+                // Hibernated apps are always degradable (stable apps
+                // are evicted, never hibernated), so stable_cores and
+                // the allocation are untouched here.
+                self.apps[id.0].hibernated = false;
+                self.ev.hibernated_apps -= 1;
+                self.ev.hibernated_per_site[s] -= 1;
+                if self.ev.hibernated_per_site[s] == 0 {
+                    self.ev.min_hib_cores[s] = u32::MAX;
+                }
+            }
         }
     }
+
+    /// Hibernate a degradable app in place (no WAN traffic).
+    fn hibernate(&mut self, id: AppId, s: usize) {
+        debug_assert!(!self.apps[id.0].hibernated);
+        let cores = self.apps[id.0].spec.cores();
+        self.apps[id.0].hibernated = true;
+        self.sites[s].allocated_cores -= cores;
+        self.ev.group_allocated -= cores as u64;
+        self.ev.hibernated_apps += 1;
+        self.ev.hibernated_per_site[s] += 1;
+        self.ev.min_hib_cores[s] = self.ev.min_hib_cores[s].min(cores);
+        self.touch(s);
+    }
+
+    /// Resume a hibernated app (free of charge — no WAN traffic).
+    /// Threat re-arming is the caller's job ([`GroupSim::resume_site`]
+    /// arms once per batch, which dominates per-resume arming).
+    fn resume(&mut self, id: AppId, s: usize) {
+        debug_assert!(self.apps[id.0].hibernated);
+        let cores = self.apps[id.0].spec.cores();
+        self.apps[id.0].hibernated = false;
+        self.sites[s].allocated_cores += cores;
+        self.ev.group_allocated += cores as u64;
+        self.ev.hibernated_apps -= 1;
+        self.ev.hibernated_per_site[s] -= 1;
+        if self.ev.hibernated_per_site[s] == 0 {
+            self.ev.min_hib_cores[s] = u32::MAX;
+        }
+        self.touch(s);
+    }
+}
+
+/// The day-ahead readout window at step `now` over a series of length
+/// `len`: `[now, now + DAY_AHEAD_STEPS)` clipped to the series end.
+///
+/// Near the end of the run the window *intentionally* shortens: steps
+/// past the simulated horizon are never played, so capacity risk there
+/// cannot affect the run, and scanning past `len` would require
+/// forecast data that does not exist. Every consumer — `site_at_risk`,
+/// the `forecast_min_24h_cores` snapshot, and the event core's
+/// precomputed minima — shares this same clipped window, so the final
+/// day's readouts are consistently (and deliberately) less
+/// conservative rather than divergently so. Pinned by the
+/// `day_ahead_window_*` regression tests.
+pub fn day_ahead_window(now: usize, len: usize) -> (usize, usize) {
+    (now.min(len), (now + DAY_AHEAD_STEPS).min(len))
 }
 
 #[cfg(test)]
@@ -957,8 +1835,8 @@ mod tests {
 
     #[test]
     fn greedy_run_completes_and_accounts() {
-        let sim =
-            GroupSim::new(&catalog(), &["NO-solar", "UK-wind", "PT-wind"], tiny_cfg()).unwrap();
+        let sim = GroupSim::new(&catalog(), &["NO-solar", "UK-wind", "PT-wind"], tiny_cfg())
+            .expect("Table 1 trio exists in the catalog");
         let n = sim.n_steps() as usize;
         let summary = sim.run(&mut GreedyPolicy::new());
         assert_eq!(summary.per_step_gb.len(), n);
@@ -966,23 +1844,26 @@ mod tests {
         assert!(summary.total_gb >= 0.0);
         assert!(summary.peak_gb <= summary.total_gb + 1e-9);
         assert!((0.0..=1.0).contains(&summary.zero_fraction));
+        assert!(summary.vm_decisions > 0, "placements must be counted");
     }
 
     #[test]
     fn runs_are_deterministic_per_seed() {
         let a = GroupSim::new(&catalog(), &["UK-wind", "PT-wind"], tiny_cfg())
-            .unwrap()
+            .expect("sites exist")
             .run(&mut GreedyPolicy::new());
         let b = GroupSim::new(&catalog(), &["UK-wind", "PT-wind"], tiny_cfg())
-            .unwrap()
+            .expect("sites exist")
             .run(&mut GreedyPolicy::new());
         assert_eq!(a.per_step_gb, b.per_step_gb);
         assert_eq!(a.total_gb, b.total_gb);
+        assert_eq!(a.vm_decisions, b.vm_decisions);
     }
 
     #[test]
     fn mip_run_completes_without_fallbacks() {
-        let sim = GroupSim::new(&catalog(), &["UK-wind", "PT-wind"], tiny_cfg()).unwrap();
+        let sim =
+            GroupSim::new(&catalog(), &["UK-wind", "PT-wind"], tiny_cfg()).expect("sites exist");
         let mut policy = MipPolicy::new(MipConfig::mip_24h());
         let summary = sim.run(&mut policy);
         assert_eq!(summary.policy, "MIP-24h");
@@ -994,10 +1875,10 @@ mod tests {
         // The §2.3 claim: aggregating complementary sites reduces
         // unavailability for stable applications.
         let single = GroupSim::new(&catalog(), &["NO-solar"], tiny_cfg())
-            .unwrap()
+            .expect("site exists")
             .run(&mut GreedyPolicy::new());
         let multi = GroupSim::new(&catalog(), &["NO-solar", "UK-wind", "PT-wind"], tiny_cfg())
-            .unwrap()
+            .expect("sites exist")
             .run(&mut GreedyPolicy::new());
         assert!(
             multi.unavailable_app_steps < single.unavailable_app_steps,
@@ -1010,7 +1891,7 @@ mod tests {
     #[test]
     fn per_step_volumes_are_nonnegative_and_finite() {
         let summary = GroupSim::new(&catalog(), &["UK-wind", "PT-wind"], tiny_cfg())
-            .unwrap()
+            .expect("sites exist")
             .run(&mut GreedyPolicy::new());
         assert!(summary
             .per_step_gb
@@ -1029,6 +1910,105 @@ mod tests {
             .err()
             .expect("empty group must be rejected");
         assert_eq!(err, SimError::NoSites);
+    }
+
+    /// Regression for the `clamp(1, …)` panic: with `bucket_steps`
+    /// wider than a week, `WEEK_AHEAD_STEPS / bucket` is 0 and the old
+    /// clamp hit `min > max`. The run must complete with exactly one
+    /// planning bucket instead.
+    #[test]
+    fn oversized_bucket_steps_do_not_panic() {
+        for bucket_steps in [700, 1344, 10_000] {
+            let cfg = GroupSimConfig {
+                bucket_steps,
+                days: 1,
+                ..tiny_cfg()
+            };
+            let summary = GroupSim::new(&catalog(), &["UK-wind", "PT-wind"], cfg)
+                .expect("sites exist")
+                .run(&mut GreedyPolicy::new());
+            assert_eq!(
+                summary.per_step_gb.len(),
+                STEPS_PER_DAY as usize,
+                "bucket_steps {bucket_steps} must still complete the run"
+            );
+        }
+    }
+
+    /// The day-ahead window clips at the series end: full-width in the
+    /// interior, shortening over the last day, empty past the end.
+    #[test]
+    fn day_ahead_window_clips_at_the_tail() {
+        let len = 2 * DAY_AHEAD_STEPS;
+        assert_eq!(day_ahead_window(0, len), (0, DAY_AHEAD_STEPS));
+        assert_eq!(
+            day_ahead_window(DAY_AHEAD_STEPS, len),
+            (DAY_AHEAD_STEPS, len)
+        );
+        // Tail: the window shortens step by step…
+        assert_eq!(day_ahead_window(len - 10, len), (len - 10, len));
+        // …and is empty at/past the end (lo == hi).
+        assert_eq!(day_ahead_window(len, len), (len, len));
+        assert_eq!(day_ahead_window(len + 5, len), (len, len));
+    }
+
+    /// The precomputed sliding-window minima must equal a brute-force
+    /// fold over [`day_ahead_window`] at *every* step — in particular
+    /// over the shortened tail windows of the final day.
+    #[test]
+    fn fd_minima_match_brute_force_including_tail() {
+        let sim =
+            GroupSim::new(&catalog(), &["UK-wind", "PT-wind"], tiny_cfg()).expect("sites exist");
+        for (s, st) in sim.sites.iter().enumerate() {
+            let n = sim.n_steps as usize;
+            assert_eq!(sim.power[s].fd_min24.len(), n);
+            for t in 0..n {
+                let (lo, hi) = day_ahead_window(t, st.fd.len());
+                let brute = st.fd.values[lo..hi]
+                    .iter()
+                    .copied()
+                    .fold(f64::INFINITY, f64::min);
+                assert_eq!(
+                    sim.power[s].fd_min24[t].to_bits(),
+                    brute.to_bits(),
+                    "site {s} step {t}: precomputed min diverged from the fold"
+                );
+                // The last day's windows genuinely shorten.
+                if t + DAY_AHEAD_STEPS > st.fd.len() {
+                    assert!(hi - lo < DAY_AHEAD_STEPS);
+                }
+            }
+        }
+    }
+
+    /// The threshold scans must agree with linear scans over the
+    /// precomputed arrays (bucket skipping is an optimization only).
+    #[test]
+    fn threshold_scans_match_linear_scans() {
+        let sim =
+            GroupSim::new(&catalog(), &["UK-wind", "NO-solar"], tiny_cfg()).expect("sites exist");
+        let p = &sim.power[0];
+        for from in [0usize, 7, 95, 100, 190, 500] {
+            for threshold in [0u32, 1, 50, 200, 400, 401] {
+                let linear = (from..p.budgets.len()).find(|&t| p.budgets[t] < threshold);
+                assert_eq!(
+                    p.next_budget_below(from, threshold),
+                    linear,
+                    "budget scan from {from} below {threshold}"
+                );
+            }
+            for stable in [0.0f64, 10.0, 150.0, 280.0, 1e9] {
+                let cores_f = sim.cfg.cores_per_site as f64;
+                let util = sim.cfg.target_util;
+                let linear =
+                    (from..p.fd_min24.len()).find(|&t| p.fd_min24[t] * cores_f * util < stable);
+                assert_eq!(
+                    p.next_fd24_below(from, stable, cores_f, util),
+                    linear,
+                    "fd24 scan from {from} below {stable}"
+                );
+            }
+        }
     }
 }
 
@@ -1053,9 +2033,9 @@ mod subgraph_tests {
         let catalog = Catalog::europe(42);
         let names = ["NO-solar", "UK-wind", "PT-wind", "ES-wind"];
         let summary = GroupSim::new(&catalog, &names, cfg_with_groups())
-            .unwrap()
+            .expect("sites exist")
             .run(&mut GreedyPolicy::new());
-        assert_eq!(summary.per_step_gb.len(), 2 * 96);
+        assert_eq!(summary.per_step_gb.len(), 2 * STEPS_PER_DAY as usize);
         assert!(summary.per_step_gb.iter().all(|&v| v >= 0.0));
     }
 
@@ -1063,7 +2043,7 @@ mod subgraph_tests {
     fn movable_targets_respect_groups() {
         let catalog = Catalog::europe(42);
         let names = ["NO-solar", "UK-wind", "PT-wind", "ES-wind"];
-        let sim = GroupSim::new(&catalog, &names, cfg_with_groups()).unwrap();
+        let sim = GroupSim::new(&catalog, &names, cfg_with_groups()).expect("sites exist");
         assert_eq!(sim.movable_targets(0), vec![0, 1]);
         assert_eq!(sim.movable_targets(3), vec![2, 3]);
         // Ungrouped default covers every site.
@@ -1076,7 +2056,7 @@ mod subgraph_tests {
                 ..GroupSimConfig::default()
             },
         )
-        .unwrap();
+        .expect("sites exist");
         assert_eq!(open.movable_targets(1), vec![0, 1, 2, 3]);
     }
 
@@ -1087,14 +2067,14 @@ mod subgraph_tests {
         let catalog = Catalog::europe(42);
         let names = ["NO-solar", "UK-wind", "PT-wind", "ES-wind"];
         let grouped = GroupSim::new(&catalog, &names, cfg_with_groups())
-            .unwrap()
+            .expect("sites exist")
             .run(&mut GreedyPolicy::new());
         let open_cfg = GroupSimConfig {
             subgraphs: None,
             ..cfg_with_groups()
         };
         let open = GroupSim::new(&catalog, &names, open_cfg)
-            .unwrap()
+            .expect("sites exist")
             .run(&mut GreedyPolicy::new());
         assert!(
             open.unavailable_app_steps <= grouped.unavailable_app_steps,

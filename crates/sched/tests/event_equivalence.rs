@@ -1,0 +1,124 @@
+//! Differential contract for the event-driven step core: on identical
+//! configs (same catalog, seeds, policies) the event-driven driver must
+//! produce **bit-identical** `DetailedRun`s — every per-step stat row
+//! and every summary field — to the legacy full-scan loop it replaces.
+//! Any divergence, however small, means a lost or spurious wake-up.
+
+use vb_sched::greedy::GreedyPolicy;
+use vb_sched::{DetailedRun, GroupSim, GroupSimConfig, MipConfig, MipPolicy, Policy, SimCore};
+use vb_trace::Catalog;
+
+fn run_with(
+    core: SimCore,
+    cfg: &GroupSimConfig,
+    names: &[&str],
+    policy: &mut dyn Policy,
+) -> DetailedRun {
+    let cfg = GroupSimConfig {
+        core,
+        ..cfg.clone()
+    };
+    GroupSim::new(&Catalog::europe(42), names, cfg)
+        .expect("catalog sites exist")
+        .run_detailed(policy)
+}
+
+/// Assert full bit-equality, with a per-step diff on failure so a
+/// divergence pins the first offending step instead of dumping both
+/// runs.
+fn assert_identical(cfg: &GroupSimConfig, names: &[&str], mk: &dyn Fn() -> Box<dyn Policy>) {
+    let legacy = run_with(SimCore::Legacy, cfg, names, mk().as_mut());
+    let event = run_with(SimCore::EventDriven, cfg, names, mk().as_mut());
+    for (l, e) in legacy.steps.iter().zip(&event.steps) {
+        assert_eq!(l, e, "first divergent step under {}", legacy.summary.policy);
+    }
+    assert_eq!(
+        legacy, event,
+        "event-driven run diverged from legacy under {}",
+        legacy.summary.policy
+    );
+}
+
+/// Table-1-sized group (three sites), two simulated days.
+fn table1_cfg() -> GroupSimConfig {
+    GroupSimConfig {
+        days: 2,
+        ..GroupSimConfig::default()
+    }
+}
+
+const TABLE1_SITES: [&str; 3] = ["NO-solar", "UK-wind", "PT-wind"];
+
+#[test]
+fn greedy_runs_bit_match() {
+    assert_identical(&table1_cfg(), &TABLE1_SITES, &|| {
+        Box::new(GreedyPolicy::new())
+    });
+}
+
+#[test]
+fn mip_24h_runs_bit_match() {
+    assert_identical(&table1_cfg(), &TABLE1_SITES, &|| {
+        Box::new(MipPolicy::new(MipConfig::mip_24h()))
+    });
+}
+
+/// MIP with preemptive moves enabled: exercises the pending-move queue
+/// and the movable-app offer path.
+#[test]
+fn mip_with_moves_bit_matches() {
+    let cfg = GroupSimConfig {
+        max_movable: 8,
+        ..table1_cfg()
+    };
+    assert_identical(&cfg, &TABLE1_SITES, &|| {
+        Box::new(MipPolicy::new(MipConfig::mip()))
+    });
+}
+
+/// MIP-peak: `preemptive_drain()` is on, exercising the drain event
+/// queue, its in-phase worklist, and the ascending-order rule.
+#[test]
+fn mip_peak_runs_bit_match() {
+    let cfg = GroupSimConfig {
+        max_movable: 8,
+        ..table1_cfg()
+    };
+    assert_identical(&cfg, &TABLE1_SITES, &|| {
+        Box::new(MipPolicy::new(MipConfig::mip_peak()))
+    });
+}
+
+/// Subgraph-restricted re-hosting (Fig 6 step 2) under the drain-heavy
+/// policy: movable-target restriction interacts with every phase.
+#[test]
+fn subgraph_runs_bit_match() {
+    let cfg = GroupSimConfig {
+        cores_per_site: 400,
+        days: 2,
+        seed: 7,
+        max_movable: 8,
+        subgraphs: Some(vec![vec![0, 1], vec![2, 3]]),
+        ..GroupSimConfig::default()
+    };
+    let names = ["NO-solar", "UK-wind", "PT-wind", "ES-wind"];
+    assert_identical(&cfg, &names, &|| {
+        Box::new(MipPolicy::new(MipConfig::mip_peak()))
+    });
+}
+
+/// Small sites under-provisioned for the workload: constant power
+/// stress maximises hibernation/eviction/queue churn, the worst case
+/// for event bookkeeping.
+#[test]
+fn stressed_small_sites_bit_match() {
+    let cfg = GroupSimConfig {
+        cores_per_site: 300,
+        days: 2,
+        seed: 11,
+        ..GroupSimConfig::default()
+    };
+    assert_identical(&cfg, &["NO-solar", "UK-wind"], &|| {
+        Box::new(GreedyPolicy::new())
+    });
+}

@@ -1,7 +1,7 @@
 //! Offline analysis of Chrome trace files produced by
 //! [`chrome_trace_json`](crate::chrome_trace_json): rebuild the span
 //! forest, break wall-clock down per phase (span name), and rank the
-//! slowest individual spans — e.g. the top-k slowest `sched.sim_step`
+//! slowest individual spans — e.g. the top-k slowest `sched.sim_epoch`
 //! epochs of a run.
 //!
 //! Compiled unconditionally (it reads files, it does not record), so the
@@ -122,7 +122,7 @@ pub fn phase_breakdown(spans: &[TraceSpan]) -> Vec<PhaseStat> {
 }
 
 /// The `k` slowest spans, optionally restricted to one name (e.g.
-/// `sched.sim_step` to rank epochs), sorted by duration descending.
+/// `sched.sim_epoch` to rank epochs), sorted by duration descending.
 pub fn top_spans<'a>(spans: &'a [TraceSpan], name: Option<&str>, k: usize) -> Vec<&'a TraceSpan> {
     let mut picked: Vec<&TraceSpan> = spans
         .iter()

@@ -3,21 +3,21 @@
 //!
 //! ```text
 //! cargo run -p vb-telemetry --bin trace_analyze -- \
-//!     target/run-reports/table1_policies.trace.json --span sched.sim_step --top 10
+//!     target/run-reports/table1_policies.trace.json --span sched.sim_epoch --top 10
 //! ```
 
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: trace_analyze <trace.json> [--span NAME] [--top K]\n\
     \n\
-    --span NAME  rank the K slowest spans of this name (default sched.sim_step;\n\
+    --span NAME  rank the K slowest spans of this name (default sched.sim_epoch;\n\
     \x20            pass an empty string to rank across all names)\n\
     --top K      how many slow spans to list (default 10)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path = None;
-    let mut focus = "sched.sim_step".to_string();
+    let mut focus = "sched.sim_epoch".to_string();
     let mut top = 10usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {

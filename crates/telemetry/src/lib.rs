@@ -51,7 +51,7 @@ pub mod trace;
 
 pub use analyze::{parse_chrome_trace, phase_breakdown, render_analysis, PhaseStat, TraceSpan};
 pub use report::{Event, Json, RunReport};
-pub use series::{series_sample, series_snapshot, SeriesData};
+pub use series::{series_extend, series_sample, series_snapshot, SeriesData};
 pub use snapshot::{HistogramSnapshot, Snapshot, SpanStat};
 pub use trace::{
     adopt_trace, chrome_trace_json, set_trace_enabled, trace_context, trace_drops, trace_enabled,

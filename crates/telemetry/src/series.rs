@@ -113,6 +113,61 @@ mod imp {
         }
     }
 
+    /// Append many rows to the `(name, instance)` series in one store
+    /// lock — the hot-loop batching form of [`series_sample`]. A tight
+    /// per-step loop (the group simulator samples every one of its
+    /// thousands of steps, from every fleet-shard thread at once) pays
+    /// one global mutex acquisition per *run* instead of per step; the
+    /// resulting store content is identical to calling `series_sample`
+    /// once per row with the same columns. Every column slice must be
+    /// parallel to `epochs`.
+    pub fn series_extend(
+        name: &'static str,
+        instance: &str,
+        epochs: &[u64],
+        columns: &[(&str, &[f64])],
+    ) {
+        if epochs.is_empty() {
+            return;
+        }
+        let mut all = lock_or_recover(store());
+        if !all.iter().any(|s| s.name == name && s.instance == instance) {
+            all.push(SeriesData {
+                name: name.to_string(),
+                instance: instance.to_string(),
+                ..SeriesData::default()
+            });
+        }
+        let Some(buf) = all
+            .iter_mut()
+            .find(|s| s.name == name && s.instance == instance)
+        else {
+            return;
+        };
+        let start = buf.epochs.len();
+        buf.epochs.extend_from_slice(epochs);
+        let rows = buf.epochs.len();
+        for &(col, vals) in columns {
+            debug_assert_eq!(vals.len(), epochs.len(), "column {col} not parallel");
+            let idx = match buf.columns.iter().position(|(c, _)| c == col) {
+                Some(i) => i,
+                None => {
+                    // New column mid-series: backfill earlier epochs.
+                    buf.columns.push((col.to_string(), vec![0.0; start]));
+                    buf.columns.len() - 1
+                }
+            };
+            let out = &mut buf.columns[idx].1;
+            out.resize(start, 0.0);
+            out.extend(vals.iter().copied().take(epochs.len()));
+        }
+        for (_, vals) in &mut buf.columns {
+            if vals.len() < rows {
+                vals.resize(rows, 0.0);
+            }
+        }
+    }
+
     /// Copy of every recorded series, sorted by `(name, instance)` for
     /// deterministic reports regardless of recorder thread interleaving.
     pub fn series_snapshot() -> Vec<SeriesData> {
@@ -130,12 +185,23 @@ mod imp {
 #[cfg(feature = "telemetry")]
 pub(crate) use imp::reset_series;
 #[cfg(feature = "telemetry")]
-pub use imp::{series_sample, series_snapshot};
+pub use imp::{series_extend, series_sample, series_snapshot};
 
 /// Samples are dropped when telemetry is compiled out.
 #[cfg(not(feature = "telemetry"))]
 #[inline(always)]
 pub fn series_sample(_name: &'static str, _instance: &str, _epoch: u64, _columns: &[(&str, f64)]) {}
+
+/// Samples are dropped when telemetry is compiled out.
+#[cfg(not(feature = "telemetry"))]
+#[inline(always)]
+pub fn series_extend(
+    _name: &'static str,
+    _instance: &str,
+    _epochs: &[u64],
+    _columns: &[(&str, &[f64])],
+) {
+}
 
 /// Always empty when telemetry is compiled out.
 #[cfg(not(feature = "telemetry"))]
@@ -175,6 +241,57 @@ mod tests {
             .expect("series b");
         assert_eq!(b.epochs, vec![0]);
         assert_eq!(b.column("x"), Some(&[7.0][..]));
+    }
+
+    #[test]
+    fn extend_matches_repeated_samples() {
+        // The batched form must leave the store in exactly the state
+        // repeated single samples would.
+        let epochs: Vec<u64> = (0..5).collect();
+        let a: Vec<f64> = epochs.iter().map(|&e| e as f64 * 1.5).collect();
+        let b: Vec<f64> = epochs.iter().map(|&e| 10.0 - e as f64).collect();
+        for (i, &e) in epochs.iter().enumerate() {
+            series_sample(
+                "seriestest.extend",
+                "one-by-one",
+                e,
+                &[("a", a[i]), ("b", b[i])],
+            );
+        }
+        series_extend(
+            "seriestest.extend",
+            "batched",
+            &epochs,
+            &[("a", &a), ("b", &b)],
+        );
+        let all = series_snapshot();
+        let find = |inst: &str| {
+            all.iter()
+                .find(|s| s.name == "seriestest.extend" && s.instance == inst)
+                .expect("series recorded")
+        };
+        let (single, batched) = (find("one-by-one"), find("batched"));
+        assert_eq!(single.epochs, batched.epochs);
+        assert_eq!(single.columns, batched.columns);
+    }
+
+    #[test]
+    fn extend_appends_and_backfills_like_sample() {
+        series_sample("seriestest.extend_mix", "x", 0, &[("old", 1.0)]);
+        series_extend(
+            "seriestest.extend_mix",
+            "x",
+            &[1, 2],
+            &[("new", &[5.0, 6.0])],
+        );
+        let all = series_snapshot();
+        let s = all
+            .iter()
+            .find(|s| s.name == "seriestest.extend_mix")
+            .expect("series recorded");
+        assert_eq!(s.epochs, vec![0, 1, 2]);
+        assert_eq!(s.column("old"), Some(&[1.0, 0.0, 0.0][..]), "old pads");
+        assert_eq!(s.column("new"), Some(&[0.0, 5.0, 6.0][..]), "new backfills");
     }
 
     #[test]

@@ -92,6 +92,40 @@ impl Catalog {
         c
     }
 
+    /// A synthetic paper-scale fleet: `n_sites` modular sites scattered
+    /// over the continent (lat 36–60°N, lon 10°W–20°E), alternating
+    /// wind and solar, named `F0000-wind`, `F0001-solar`, … in index
+    /// order. This is the 10×/100×/1000× scale-up axis for the
+    /// `fleet_perf` bench — the follow-up paper's "hundreds of modular
+    /// data centers" regime — with fully deterministic placement: the
+    /// same `(seed, n_sites)` always yields the same catalog, and a
+    /// larger fleet is a strict prefix-extension of a smaller one.
+    pub fn fleet(seed: u64, n_sites: usize) -> Catalog {
+        // Same splitmix-style mixer the benches use for deterministic
+        // pseudo-random streams — decoupled from the weather-field seed
+        // so site geography does not shift with the weather draw.
+        fn mix(seed: u64, i: u64, salt: u64) -> f64 {
+            let h = (seed ^ salt)
+                .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                .rotate_left(31)
+                .wrapping_mul(0x94D0_49BB_1331_11EB);
+            (h >> 11) as f64 / (1u64 << 53) as f64
+        }
+        let mut c = Catalog::new(seed);
+        for i in 0..n_sites {
+            let lat = 36.0 + 24.0 * mix(seed, i as u64, 0x1a7);
+            let lon = -10.0 + 30.0 * mix(seed, i as u64, 0x2b9);
+            let site = if i % 2 == 0 {
+                Site::wind(&format!("F{i:04}-wind"), lat, lon)
+            } else {
+                Site::solar(&format!("F{i:04}-solar"), lat, lon)
+            };
+            c.push(site);
+        }
+        c
+    }
+
     /// Add a site (synthetic generation).
     pub fn push(&mut self, site: Site) {
         self.sites.push(site);
@@ -250,6 +284,40 @@ mod tests {
     #[should_panic(expected = "unknown site")]
     fn unknown_site_panics() {
         Catalog::europe(1).trace("nowhere", 0, 1);
+    }
+
+    #[test]
+    fn fleet_is_deterministic_and_prefix_stable() {
+        let a = Catalog::fleet(9, 30);
+        let b = Catalog::fleet(9, 30);
+        assert_eq!(a.len(), 30);
+        for (x, y) in a.sites().iter().zip(b.sites()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.lat.to_bits(), y.lat.to_bits());
+            assert_eq!(x.lon.to_bits(), y.lon.to_bits());
+        }
+        // A bigger fleet extends a smaller one without renumbering.
+        let big = Catalog::fleet(9, 300);
+        for (x, y) in a.sites().iter().zip(big.sites()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.lat.to_bits(), y.lat.to_bits());
+        }
+    }
+
+    #[test]
+    fn fleet_sites_are_in_bounds_and_mixed() {
+        let c = Catalog::fleet(5, 100);
+        assert!(c
+            .sites()
+            .iter()
+            .all(|s| (36.0..=60.0).contains(&s.lat) && (-10.0..=20.0).contains(&s.lon)));
+        assert_eq!(c.of_kind(SourceKind::Wind).len(), 50);
+        assert_eq!(c.of_kind(SourceKind::Solar).len(), 50);
+        assert_eq!(c.get("F0000-wind").map(|s| s.kind), Some(SourceKind::Wind));
+        assert_eq!(
+            c.get("F0099-solar").map(|s| s.kind),
+            Some(SourceKind::Solar)
+        );
     }
 }
 

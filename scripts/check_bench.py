@@ -1,27 +1,42 @@
 #!/usr/bin/env python3
-"""Perf-regression gate over the solver epoch-reuse bench.
+"""Perf-regression gate over the committed bench baselines.
 
-Usage: check_bench.py CURRENT.json BASELINE.json [KEY=TOL ...]
+Usage: check_bench.py CURRENT.json BASELINE.json [--rows=SCALE,...] [KEY=TOL ...]
 
-Compares a freshly produced `BENCH_solver.json` against the committed
-baseline and exits non-zero when the run regressed past the tolerance
-band for any key. Keys fall into three classes:
+Compares a freshly produced bench result (`BENCH_solver.json`,
+`BENCH_fleet.json`) against the committed baseline and exits non-zero
+when the run regressed past the tolerance band for any key. The rule
+table is selected by the file's `bench` field:
 
-* structural (`bench`, `epochs`, `apps`, `sites`, `buckets`,
-  `warm_hits`): exact match — a drift here means the bench ran a
-  different experiment and the perf comparison is meaningless;
-* quality (`pivot_reduction`, `max_objective_drift`, `cold_pivots`,
-  `warm_pivots`): pivot counts are deterministic but allowed a small
-  slack so baseline refreshes need not be pivot-exact across solver
-  tweaks; the reduction ratio and objective drift are bounded
-  absolutely;
-* wall-clock (`cold_secs`, `warm_secs`, `speedup`): noisy on shared CI
-  hosts, so the band is wide (2x) — wide enough to ride out scheduler
+* `solver_epoch_reuse` — the flat solver warm-start baseline;
+* `fleet_sim` — per-scale rows (`10x`, `100x`, ...) flattened to
+  `{scale}.{key}` entries so every scale is gated independently.
+  `--rows=10x` restricts the gate to the named scales (CI runs the 10x
+  row only; the committed baseline also carries 100x).
+
+Keys fall into three classes:
+
+* structural (`sites`, `epochs`, `policy`, ...): exact match — a drift
+  here means the bench ran a different experiment and the perf
+  comparison is meaningless;
+* quality (pivot counts, decision counts, volumes): deterministic given
+  the config, but floats crossing libm versions get a small relative
+  band (`rel`) instead of bit-equality;
+* wall-clock (`*_secs`, `*_per_sec`, `speedup`): noisy on shared CI
+  hosts, so the bands are wide — wide enough to ride out scheduler
   noise, tight enough that a genuinely quadratic regression or a lost
-  warm-start path still trips it.
+  fast path still trips it.
+
+The key sets of the current result and the baseline must match exactly,
+in *both* directions: a key present on one side only — current missing
+a baseline key, or current carrying a key the baseline has never seen —
+fails the gate. (An earlier version only checked that the rule table's
+keys existed in each file, so a renamed or extra key in either file
+slid through as "nothing to compare".)
 
 Tolerances can be overridden per key on the command line, e.g.
-`warm_secs=3.0` to triple the wall-clock band on a known-slow runner.
+`warm_secs=3.0`, or per flattened fleet key (`10x.event_secs=4.0`); a
+bare row key (`event_secs=4.0`) applies to that key in every row.
 Improvements never fail the gate (they print a hint to refresh the
 baseline instead).
 """
@@ -29,14 +44,14 @@ baseline instead).
 import json
 import sys
 
-# key -> (rule, default tolerance). Rules:
+# Rules:
 #   exact      — current == baseline
 #   ratio      — current <= tol * baseline (bigger is worse)
 #   ratio_min  — current >= baseline / tol (smaller is worse)
 #   slack_min  — current >= baseline - tol (smaller is worse)
 #   abs_max    — current <= tol (baseline-independent ceiling)
-RULES = {
-    "bench": ("exact", None),
+#   rel        — |current - baseline| <= tol * max(|baseline|, 1)
+SOLVER_RULES = {
     "epochs": ("exact", None),
     "apps": ("exact", None),
     "sites": ("exact", None),
@@ -51,17 +66,90 @@ RULES = {
     "max_objective_drift": ("abs_max", 1e-6),
 }
 
+FLEET_TOP_RULES = {
+    "shard_size": ("exact", None),
+}
+
+FLEET_ROW_RULES = {
+    "sites": ("exact", None),
+    "shards": ("exact", None),
+    "days": ("exact", None),
+    "steps": ("exact", None),
+    "policy": ("exact", None),
+    # Deterministic given the config, but floats produced through libm
+    # transcendentals (trace generation) may drift in the last ulps
+    # across platforms — a tight relative band instead of bit-equality.
+    "vm_decisions": ("rel", 0.01),
+    "total_gb": ("rel", 0.01),
+    "dropped_apps": ("rel", 0.05),
+    # Wall-clock: wide bands for shared CI hosts.
+    "event_secs": ("ratio", 2.0),
+    "legacy_secs": ("ratio", 2.0),
+    "event_steps_per_sec": ("ratio_min", 2.0),
+    "legacy_steps_per_sec": ("ratio_min", 2.0),
+    "vm_decisions_per_sec": ("ratio_min", 2.0),
+    # The headline claim: the event core's advantage over the legacy
+    # step loop. The band is tighter than the raw timers because both
+    # cores run in one process on one host — host noise largely cancels
+    # in the ratio.
+    "speedup": ("ratio_min", 1.5),
+    "peak_rss_mb": ("ratio", 2.5),
+}
+
 
 def load(path):
     try:
         with open(path) as fh:
-            data = json.load(fh)
+            return json.load(fh)
     except (OSError, json.JSONDecodeError) as err:
         sys.exit(f"error: cannot load bench result {path}: {err}")
-    missing = sorted(set(RULES) - set(data))
-    if missing:
-        sys.exit(f"error: {path} is missing keys: {', '.join(missing)}")
-    return data
+
+
+def flatten(data, path, rows_filter=None):
+    """(flat key -> value, flat key -> rule) for one bench file."""
+    bench = data.get("bench")
+    if bench == "solver_epoch_reuse":
+        flat = {k: v for k, v in data.items() if k != "bench"}
+        return flat, dict(SOLVER_RULES)
+    if bench == "fleet_sim":
+        flat = {k: v for k, v in data.items() if k not in ("bench", "rows")}
+        rules = dict(FLEET_TOP_RULES)
+        seen_scales = []
+        for row in data.get("rows", []):
+            scale = row.get("scale")
+            if not scale:
+                sys.exit(f"error: {path}: fleet row without a `scale` field")
+            seen_scales.append(scale)
+            if rows_filter is not None and scale not in rows_filter:
+                continue
+            for key, value in row.items():
+                if key == "scale":
+                    continue
+                if key not in FLEET_ROW_RULES:
+                    sys.exit(f"error: {path}: no gate rule for fleet row key `{key}`")
+                flat[f"{scale}.{key}"] = value
+                rules[f"{scale}.{key}"] = FLEET_ROW_RULES[key]
+        if rows_filter is not None:
+            unknown = sorted(set(rows_filter) - set(seen_scales))
+            if unknown:
+                sys.exit(
+                    f"error: {path}: --rows names scales not in the file: "
+                    f"{', '.join(unknown)}"
+                )
+        return flat, rules
+    sys.exit(f"error: {path}: unknown bench kind {bench!r}")
+
+
+def keyset_mismatch(cur_flat, base_flat):
+    """Symmetric key comparison: drift in either direction is fatal."""
+    msgs = []
+    only_cur = sorted(set(cur_flat) - set(base_flat))
+    only_base = sorted(set(base_flat) - set(cur_flat))
+    if only_cur:
+        msgs.append(f"keys only in current result: {', '.join(only_cur)}")
+    if only_base:
+        msgs.append(f"keys only in baseline: {', '.join(only_base)}")
+    return msgs
 
 
 def check(key, rule, tol, cur, base):
@@ -76,35 +164,46 @@ def check(key, rule, tol, cur, base):
         return cur >= base - tol, f"must stay >= baseline - {tol:g}"
     if rule == "abs_max":
         return cur <= tol, f"must stay <= {tol:g}"
+    if rule == "rel":
+        band = tol * max(abs(base), 1.0)
+        return abs(cur - base) <= band, f"must stay within {tol:g} relative"
     sys.exit(f"error: unknown rule {rule} for {key}")
 
 
-def main():
-    if len(sys.argv) < 3:
-        sys.exit(__doc__.strip())
-    current, baseline = load(sys.argv[1]), load(sys.argv[2])
+def run_gate(current_path, baseline_path, rows_filter=None, overrides=None):
+    """Run the gate; returns the process exit code (importable for tests)."""
+    overrides = overrides or {}
+    current, baseline = load(current_path), load(baseline_path)
+    if current.get("bench") != baseline.get("bench"):
+        print(
+            f"perf gate FAILED: bench kind mismatch "
+            f"({current.get('bench')!r} vs {baseline.get('bench')!r})"
+        )
+        return 1
 
-    overrides = {}
-    for arg in sys.argv[3:]:
-        key, eq, value = arg.partition("=")
-        if not eq or key not in RULES:
-            sys.exit(f"error: bad tolerance override `{arg}` (expected KEY=TOL)")
-        if RULES[key][0] == "exact":
-            sys.exit(f"error: `{key}` is structural; its tolerance cannot be overridden")
-        try:
-            overrides[key] = float(value)
-        except ValueError:
-            sys.exit(f"error: tolerance `{value}` for {key} is not a number")
+    cur_flat, rules = flatten(current, current_path, rows_filter)
+    base_flat, base_rules = flatten(baseline, baseline_path, rows_filter)
+    mismatches = keyset_mismatch(cur_flat, base_flat)
+    if mismatches:
+        for msg in mismatches:
+            print(msg)
+        print("perf gate FAILED: key sets diverged between current and baseline")
+        return 1
+    # A scale present in both files gated by the union of both rule
+    # derivations (identical by construction once the key sets match).
+    rules.update({k: v for k, v in base_rules.items() if k not in rules})
 
     failures = []
     improvements = []
-    print(f"{'key':<20} {'current':>12} {'baseline':>12}  verdict")
-    for key, (rule, default_tol) in RULES.items():
-        tol = overrides.get(key, default_tol)
-        cur, base = current[key], baseline[key]
+    width = max(len(k) for k in rules) if rules else 10
+    print(f"{'key':<{width}} {'current':>14} {'baseline':>14}  verdict")
+    for key in sorted(rules):
+        rule, default_tol = rules[key]
+        tol = overrides.get(key, overrides.get(key.partition(".")[2], default_tol))
+        cur, base = cur_flat[key], base_flat[key]
         ok, band = check(key, rule, tol, cur, base)
         status = "ok" if ok else "FAIL"
-        print(f"{key:<20} {cur!s:>12} {base!s:>12}  {status} ({band})")
+        print(f"{key:<{width}} {cur!s:>14} {base!s:>14}  {status} ({band})")
         if not ok:
             failures.append(key)
         elif rule == "ratio" and isinstance(cur, (int, float)) and cur < 0.5 * base:
@@ -113,13 +212,40 @@ def main():
     if improvements:
         print(
             f"note: {', '.join(improvements)} improved >2x over baseline — "
-            "consider refreshing BENCH_solver.json"
+            "consider refreshing the committed baseline"
         )
     if failures:
         print(f"perf gate FAILED: {', '.join(failures)} regressed past tolerance")
-        sys.exit(1)
+        return 1
     print("perf gate passed")
+    return 0
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.exit(__doc__.strip())
+    current_path, baseline_path = argv[1], argv[2]
+
+    rows_filter = None
+    overrides = {}
+    known = {**SOLVER_RULES, **FLEET_ROW_RULES, **FLEET_TOP_RULES}
+    for arg in argv[3:]:
+        if arg.startswith("--rows="):
+            rows_filter = [r for r in arg[len("--rows=") :].split(",") if r]
+            continue
+        key, eq, value = arg.partition("=")
+        bare = key.partition(".")[2] or key
+        if not eq or (bare not in known and key not in known):
+            sys.exit(f"error: bad tolerance override `{arg}` (expected KEY=TOL)")
+        if known.get(key, known.get(bare))[0] == "exact":
+            sys.exit(f"error: `{key}` is structural; its tolerance cannot be overridden")
+        try:
+            overrides[key] = float(value)
+        except ValueError:
+            sys.exit(f"error: tolerance `{value}` for {key} is not a number")
+
+    sys.exit(run_gate(current_path, baseline_path, rows_filter, overrides))
 
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv)

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Unit tests for the check_bench.py perf gate.
+
+Run with `python3 scripts/test_check_bench.py` (or unittest discovery).
+The regression pinned here: the key-set comparison must be *symmetric*.
+The old gate only verified that its own rule table's keys existed in
+each file, so a current result that dropped a baseline key — or grew a
+key the baseline never had (a renamed metric, a vanished scale row) —
+passed silently as "nothing to compare".
+"""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_bench
+
+
+def solver_result(**updates):
+    base = {
+        "bench": "solver_epoch_reuse",
+        "epochs": 96,
+        "apps": 16,
+        "sites": 3,
+        "buckets": 6,
+        "cold_secs": 0.02,
+        "warm_secs": 0.002,
+        "speedup": 10.0,
+        "cold_pivots": 7000,
+        "warm_pivots": 70,
+        "pivot_reduction": 0.99,
+        "warm_hits": 95,
+        "max_objective_drift": 1e-12,
+    }
+    base.update(updates)
+    return base
+
+
+def fleet_row(scale, **updates):
+    row = {
+        "scale": scale,
+        "sites": 30,
+        "shards": 10,
+        "days": 84,
+        "steps": 8064,
+        "policy": "Greedy",
+        "event_secs": 0.2,
+        "legacy_secs": 3.0,
+        "event_steps_per_sec": 1_200_000.0,
+        "legacy_steps_per_sec": 80_000.0,
+        "speedup": 15.0,
+        "vm_decisions": 532_000,
+        "vm_decisions_per_sec": 2_600_000.0,
+        "total_gb": 888_000.0,
+        "dropped_apps": 1000,
+        "peak_rss_mb": 120.0,
+    }
+    row.update(updates)
+    return row
+
+
+def fleet_result(rows):
+    return {"bench": "fleet_sim", "shard_size": 3, "rows": rows}
+
+
+class GateHarness(unittest.TestCase):
+    def gate(self, current, baseline, rows_filter=None, overrides=None):
+        """Run the gate over two in-memory results; return (code, output)."""
+        with tempfile.TemporaryDirectory() as tmp:
+            cur_path = os.path.join(tmp, "current.json")
+            base_path = os.path.join(tmp, "baseline.json")
+            with open(cur_path, "w") as fh:
+                json.dump(current, fh)
+            with open(base_path, "w") as fh:
+                json.dump(baseline, fh)
+            out = io.StringIO()
+            with contextlib.redirect_stdout(out):
+                code = check_bench.run_gate(cur_path, base_path, rows_filter, overrides)
+            return code, out.getvalue()
+
+
+class SolverGateTests(GateHarness):
+    def test_identical_results_pass(self):
+        code, out = self.gate(solver_result(), solver_result())
+        self.assertEqual(code, 0, out)
+        self.assertIn("perf gate passed", out)
+
+    def test_wallclock_regression_fails(self):
+        code, out = self.gate(solver_result(warm_secs=0.1), solver_result())
+        self.assertEqual(code, 1, out)
+        self.assertIn("warm_secs", out)
+
+    def test_missing_key_in_current_fails(self):
+        # Direction 1: the current result lost a key the baseline has.
+        current = solver_result()
+        del current["speedup"]
+        code, out = self.gate(current, solver_result())
+        self.assertEqual(code, 1, out)
+        self.assertIn("only in baseline: speedup", out)
+
+    def test_extra_key_in_current_fails(self):
+        # Direction 2 (the old gate's blind spot): the current result
+        # carries a key the baseline has never seen.
+        code, out = self.gate(solver_result(new_metric=1.0), solver_result())
+        self.assertEqual(code, 1, out)
+        self.assertIn("only in current result: new_metric", out)
+
+    def test_bench_kind_mismatch_fails(self):
+        code, out = self.gate(fleet_result([fleet_row("10x")]), solver_result())
+        self.assertEqual(code, 1, out)
+        self.assertIn("bench kind mismatch", out)
+
+
+class FleetGateTests(GateHarness):
+    def test_identical_results_pass(self):
+        rows = [fleet_row("10x"), fleet_row("100x", sites=300, shards=100)]
+        code, out = self.gate(fleet_result(rows), fleet_result(rows))
+        self.assertEqual(code, 0, out)
+
+    def test_speedup_collapse_fails(self):
+        # The event core losing its edge (e.g. the O(1) detach path
+        # regressing to a full-list retain) must trip the gate.
+        code, out = self.gate(
+            fleet_result([fleet_row("10x", speedup=4.0)]),
+            fleet_result([fleet_row("10x")]),
+        )
+        self.assertEqual(code, 1, out)
+        self.assertIn("10x.speedup", out)
+
+    def test_missing_scale_row_fails(self):
+        # A vanished 100x row is a key-set mismatch, not a silent skip.
+        code, out = self.gate(
+            fleet_result([fleet_row("10x")]),
+            fleet_result([fleet_row("10x"), fleet_row("100x", sites=300)]),
+        )
+        self.assertEqual(code, 1, out)
+        self.assertIn("only in baseline", out)
+        self.assertIn("100x.speedup", out)
+
+    def test_extra_scale_row_fails(self):
+        code, out = self.gate(
+            fleet_result([fleet_row("10x"), fleet_row("1000x", sites=3000)]),
+            fleet_result([fleet_row("10x")]),
+        )
+        self.assertEqual(code, 1, out)
+        self.assertIn("only in current result", out)
+
+    def test_rows_filter_gates_named_scales_only(self):
+        # CI runs only the 10x row; the baseline still carries 100x.
+        code, out = self.gate(
+            fleet_result([fleet_row("10x")]),
+            fleet_result([fleet_row("10x"), fleet_row("100x", sites=300)]),
+            rows_filter=["10x"],
+        )
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("100x.", out)
+
+    def test_structural_drift_fails(self):
+        code, out = self.gate(
+            fleet_result([fleet_row("10x", days=7, steps=672)]),
+            fleet_result([fleet_row("10x")]),
+        )
+        self.assertEqual(code, 1, out)
+        self.assertIn("10x.days", out)
+
+    def test_override_widens_band(self):
+        current = fleet_result([fleet_row("10x", event_secs=0.7)])
+        baseline = fleet_result([fleet_row("10x")])
+        code, _ = self.gate(current, baseline)
+        self.assertEqual(code, 1)
+        code, _ = self.gate(current, baseline, overrides={"event_secs": 4.0})
+        self.assertEqual(code, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

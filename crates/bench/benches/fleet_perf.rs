@@ -127,18 +127,19 @@ struct Row {
 fn main() {
     let run = vb_bench::report::BenchRun::start("fleet_perf");
     let scales_env = std::env::var("VB_FLEET_SCALES").unwrap_or_else(|_| "10x,100x".to_string());
-    let scales: Vec<(String, usize)> = scales_env
-        .split(',')
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .map(|s| {
-            let mult: usize = s
-                .trim_end_matches(['x', 'X'])
-                .parse()
-                .unwrap_or_else(|_| panic!("bad VB_FLEET_SCALES entry {s:?}"));
-            (s.to_string(), mult * SHARD_SIZE)
-        })
-        .collect();
+    // Validate the whole list before benchmarking anything: a typo in the
+    // last entry must not surface after minutes of work on the earlier ones.
+    let scales: Vec<(String, usize)> =
+        match vb_bench::scales::parse_scales(&scales_env, "VB_FLEET_SCALES") {
+            Ok(scales) => scales
+                .into_iter()
+                .map(|(label, mult)| (label, mult as usize * SHARD_SIZE))
+                .collect(),
+            Err(err) => {
+                eprintln!("fleet_perf: {err}");
+                std::process::exit(2);
+            }
+        };
 
     let steps = DAYS as u64 * vb_trace::STEPS_PER_DAY as u64;
     let mut rows: Vec<Row> = Vec::new();

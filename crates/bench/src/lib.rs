@@ -24,6 +24,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod report;
+pub mod scales;
 pub mod table1;
 
 /// The default seed used by EXPERIMENTS.md.

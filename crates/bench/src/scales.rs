@@ -1,0 +1,88 @@
+//! Parsing for the `VB_FLEET_SCALES` / `VB_SOLVER_SCALES` environment
+//! overrides shared by the perf benches.
+//!
+//! A scale list is a comma-separated sequence of multipliers such as
+//! `"1x,10x,100x"` (the trailing `x`/`X` is optional). The perf benches
+//! used to parse each entry lazily with a `panic!` inside the bench
+//! loop, so a typo in the *last* entry surfaced only after minutes of
+//! benchmarking the earlier ones. [`parse_scales`] instead validates
+//! every entry up front and reports **all** bad tokens in one error, so
+//! a malformed list fails before any work starts.
+
+/// Parse a comma-separated scale list into `(label, multiplier)` pairs.
+///
+/// Accepts entries like `"10x"`, `"100X"`, or a bare `"10"`; surrounding
+/// whitespace is ignored and empty entries (doubled or trailing commas)
+/// are skipped. Returns an error naming `var_name` and listing *every*
+/// invalid token — non-numeric multipliers, zero multipliers, and a list
+/// with no entries at all — rather than stopping at the first.
+pub fn parse_scales(spec: &str, var_name: &str) -> Result<Vec<(String, u64)>, String> {
+    let mut scales = Vec::new();
+    let mut bad = Vec::new();
+    for tok in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        match tok.trim_end_matches(['x', 'X']).parse::<u64>() {
+            Ok(0) => bad.push(format!("{tok:?} (zero multiplier)")),
+            Ok(mult) => scales.push((tok.to_string(), mult)),
+            Err(_) => bad.push(format!("{tok:?} (not an integer multiplier)")),
+        }
+    }
+    if !bad.is_empty() {
+        return Err(format!(
+            "{var_name}: {n} invalid {noun}: {list}; expected a comma-separated \
+             list of positive integer multipliers like \"1x,10x,100x\"",
+            n = bad.len(),
+            noun = if bad.len() == 1 { "entry" } else { "entries" },
+            list = bad.join(", "),
+        ));
+    }
+    if scales.is_empty() {
+        return Err(format!(
+            "{var_name}: no scale entries found in {spec:?}; expected a \
+             comma-separated list like \"1x,10x,100x\""
+        ));
+    }
+    Ok(scales)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_labels_and_multipliers() {
+        let scales = parse_scales("1x, 10X,100", "VB_TEST_SCALES").unwrap();
+        assert_eq!(
+            scales,
+            vec![
+                ("1x".to_string(), 1),
+                ("10X".to_string(), 10),
+                ("100".to_string(), 100),
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_empty_entries_from_stray_commas() {
+        let scales = parse_scales(",5x,,25x, ", "VB_TEST_SCALES").unwrap();
+        assert_eq!(scales.len(), 2);
+        assert_eq!(scales[0], ("5x".to_string(), 5));
+        assert_eq!(scales[1], ("25x".to_string(), 25));
+    }
+
+    #[test]
+    fn reports_every_bad_token_in_one_error() {
+        let err = parse_scales("10x,banana,0x,1e2x", "VB_FLEET_SCALES").unwrap_err();
+        assert!(err.contains("VB_FLEET_SCALES"), "{err}");
+        assert!(err.contains("3 invalid entries"), "{err}");
+        assert!(err.contains("\"banana\""), "{err}");
+        assert!(err.contains("\"0x\" (zero multiplier)"), "{err}");
+        assert!(err.contains("\"1e2x\""), "{err}");
+    }
+
+    #[test]
+    fn rejects_an_effectively_empty_list() {
+        let err = parse_scales(" , ,", "VB_SOLVER_SCALES").unwrap_err();
+        assert!(err.contains("no scale entries"), "{err}");
+        assert!(err.contains("VB_SOLVER_SCALES"), "{err}");
+    }
+}

@@ -329,6 +329,127 @@ fn fleet_runs_bit_match_sequential() {
     }
 }
 
+/// Deterministic parallel branch & bound: the production kernel expands
+/// node batches through `vb_par::par_map`, and the contract is that the
+/// incumbent sequence — hence the returned schedule — is *bit*-identical
+/// at any `VB_THREADS`. Branching-heavy placement epochs (tight
+/// capacities, near-tied costs) are driven through the epoch path at 1
+/// and 8 threads and every value is compared by bit pattern.
+#[test]
+fn parallel_branch_and_bound_bit_matches_sequential() {
+    use vb_solver::{solve_mip_epoch, EpochCache, Model, Sense, Solution, VarId};
+
+    /// SplitMix64 → uniform in [0, 1); keeps the instances arbitrary but
+    /// reproducible without pulling in a PRNG crate.
+    fn mix(seed: u64) -> f64 {
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) as f64 / u64::MAX as f64
+    }
+
+    /// 12 apps × 3 sites, one-site-per-app rows, tight per-site capacity
+    /// with a priced deficit — near-tied fractional costs so the root
+    /// relaxation is fractional and the search genuinely branches.
+    fn epoch_mip(e: usize) -> Model {
+        const APPS: usize = 12;
+        const SITES: usize = 3;
+        let mut m = Model::new(Sense::Minimize);
+        let x: Vec<Vec<VarId>> = (0..APPS)
+            .map(|a| {
+                (0..SITES)
+                    .map(|s| m.bin_var(&format!("a{a}s{s}")))
+                    .collect()
+            })
+            .collect();
+        let cores: Vec<f64> = (0..APPS)
+            .map(|a| (2.0 + (mix((a as u64) << 3) * 4.0).floor()) * 10.0)
+            .collect();
+        for row in &x {
+            let terms: Vec<(VarId, f64)> = row.iter().map(|&v| (v, 1.0)).collect();
+            let expr = m.expr(&terms);
+            m.add_eq(expr, 1.0);
+        }
+        let total: f64 = cores.iter().sum();
+        let mut objective = Vec::new();
+        for s in 0..SITES {
+            let d = m.var(&format!("d{s}"), 0.0, f64::INFINITY);
+            // Tight, epoch-drifting capacity: roughly an even split less
+            // a deficit that rotates with the epoch.
+            let capacity = (total / SITES as f64) * (0.82 + 0.04 * ((s + e) % 3) as f64);
+            let mut lhs = vec![(d, 1.0)];
+            for (a, row) in x.iter().enumerate() {
+                lhs.push((row[s], -cores[a]));
+            }
+            let expr = m.expr(&lhs);
+            m.add_ge(expr, -capacity.round());
+            objective.push((d, 6.0));
+        }
+        for (a, row) in x.iter().enumerate() {
+            for (s, &v) in row.iter().enumerate() {
+                let c = 1.0
+                    + (mix(((a * SITES + s) as u64) << 7) * 8.0).round()
+                    + 0.25 * ((a + s + e) % 2) as f64;
+                objective.push((v, c));
+            }
+        }
+        let expr = m.expr(&objective);
+        m.set_objective(expr);
+        m
+    }
+
+    fn run() -> Vec<Solution> {
+        let mut cache: Option<EpochCache> = None;
+        (0..6)
+            .map(|e| {
+                let (sol, next, _hit) = solve_mip_epoch(&epoch_mip(e), 200_000, cache.as_ref())
+                    .expect("epoch MIP solves");
+                cache = Some(next);
+                sol
+            })
+            .collect()
+    }
+
+    let batches_before = vb_telemetry::snapshot()
+        .counter("solver.bb_parallel_batches")
+        .unwrap_or(0);
+    let sequential = vb_par::with_threads(1, run);
+    let parallel = vb_par::with_threads(8, run);
+    let batches_after = vb_telemetry::snapshot()
+        .counter("solver.bb_parallel_batches")
+        .unwrap_or(0);
+    // Counters are process-global and monotonic, so a before/after delta
+    // can only over-count (other tests emit too) — never under-count.
+    // Zero means the instance never built a multi-node batch and the test
+    // would be vacuous; skip the check when telemetry is compiled out.
+    if vb_telemetry::snapshot()
+        .counter("solver.mip_solves")
+        .unwrap_or(0)
+        > 0
+    {
+        assert!(
+            batches_after > batches_before,
+            "instance too easy: no parallel node batch was ever expanded"
+        );
+    }
+    assert_eq!(sequential.len(), parallel.len());
+    for (e, (a, b)) in sequential.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            a.objective.to_bits(),
+            b.objective.to_bits(),
+            "epoch {e}: objective diverged between 1 and 8 threads"
+        );
+        assert_eq!(a.values().len(), b.values().len());
+        for (j, (x, y)) in a.values().iter().zip(b.values()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "epoch {e} var {j}: value diverged between 1 and 8 threads"
+            );
+        }
+    }
+}
+
 #[test]
 fn pair_sweep_bit_matches_sequential() {
     let catalog = Catalog::europe(42);

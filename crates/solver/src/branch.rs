@@ -9,7 +9,7 @@
 //!
 //! Child nodes **warm-start** from their parent's optimal basis: each
 //! node keeps the [`simplex::SimplexState`] of its relaxation (shared
-//! via `Rc` — branching only changes one variable's bounds, never the
+//! via `Arc` — branching only changes one variable's bounds, never the
 //! constraint matrix), and the child repairs primal feasibility with a
 //! dual-simplex phase instead of re-running two full phases from the
 //! all-slack basis. The rounding dive chains warm starts the same way.
@@ -23,13 +23,30 @@
 //! RHS/objective values, the previous epoch's optimal root state seeds
 //! the new root relaxation (gated by [`ModelSkeleton`]), and only the
 //! pivot count changes — the search below the root is identical.
+//!
+//! # The production kernel
+//!
+//! [`solve_mip_epoch`] runs the full production pipeline described by
+//! [`KernelConfig::production`]: the model is shrunk by
+//! [`crate::presolve`], relaxations price entering columns with devex
+//! ([`Pricing::Devex`]), and the search expands node *batches* in
+//! parallel through `vb-par`. Parallelism is deterministic by
+//! construction — see [`solve_mip_from_root`]: batch membership is
+//! chosen sequentially, per-node expansion is a pure function of the
+//! node, results are applied in batch index order, and heap ties break
+//! on a monotone insertion counter — so the incumbent sequence (and
+//! the returned schedule) is bit-identical at any `VB_THREADS`.
+//! [`KernelConfig::baseline`] pins the PR 7 behaviour (no presolve,
+//! Dantzig pricing, serial search) for differential tests and the
+//! `solver_perf` scaling comparison.
 
 use crate::model::{Model, Sense, Solution, SolveError, VarId};
-use crate::simplex::{self, SimplexState};
+use crate::presolve::{self, Presolved};
+use crate::simplex::{self, Pricing, SimplexState};
 use crate::skeleton::ModelSkeleton;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Integrality tolerance: values this close to an integer count as
 /// integral.
@@ -38,6 +55,47 @@ const INT_EPS: f64 = 1e-6;
 /// Default node budget: effectively "solve to optimality" for the model
 /// sizes in this workspace.
 const MAX_NODES: usize = 200_000;
+
+/// Nodes expanded per parallel batch. Fixed — deliberately *not* a
+/// function of the thread count, so the node schedule (which nodes are
+/// popped before which incumbents exist) is identical at any
+/// `VB_THREADS` and parallelism changes wall-clock only.
+const PAR_BATCH: usize = 16;
+
+/// Which kernel layers a MIP solve runs with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// Shrink the model with [`crate::presolve`] before solving and
+    /// postsolve the solution back to the original variable space.
+    pub presolve: bool,
+    /// Entering-column pricing rule for every LP relaxation.
+    pub pricing: Pricing,
+    /// Expand branch & bound nodes in deterministic parallel batches.
+    pub parallel: bool,
+}
+
+impl KernelConfig {
+    /// The full production kernel: presolve + devex + parallel search.
+    /// What [`solve_mip_epoch`] (and through it `MipPolicy` and the
+    /// fleet path) runs.
+    pub fn production() -> KernelConfig {
+        KernelConfig {
+            presolve: true,
+            pricing: Pricing::Devex,
+            parallel: true,
+        }
+    }
+
+    /// The PR 7 kernel, layer for layer: no presolve, cyclic Dantzig
+    /// pricing, serial best-first search. The differential baseline.
+    pub fn baseline() -> KernelConfig {
+        KernelConfig {
+            presolve: false,
+            pricing: Pricing::Dantzig,
+            parallel: false,
+        }
+    }
+}
 
 /// Solve a model with integer variables to optimality.
 pub fn solve_mip(model: &Model) -> Result<Solution, SolveError> {
@@ -69,7 +127,40 @@ pub fn solve_mip_bounded_with(
     vb_telemetry::counter!("solver.mip_solves").inc();
     // Root relaxation is always a cold solve.
     let root = simplex::solve_lp_state(model, &[], None)?;
-    solve_mip_from_root(model, max_nodes, warm_start, root)
+    solve_mip_from_root(
+        model,
+        max_nodes,
+        warm_start,
+        root,
+        &KernelConfig::baseline(),
+    )
+}
+
+/// Solve with an explicit [`KernelConfig`]: presolve the model (when
+/// enabled), search with the configured pricing and parallelism, and
+/// postsolve back to the original variable space. The incumbent
+/// objective is always recomputed from the *original* model's cost
+/// vector, so every config returns bit-identical objectives for the
+/// same integer assignment.
+pub fn solve_mip_kernel(
+    model: &Model,
+    max_nodes: usize,
+    kernel: &KernelConfig,
+) -> Result<Solution, SolveError> {
+    let _span = vb_telemetry::span!("solver.mip_solve");
+    vb_telemetry::counter!("solver.mip_solves").inc();
+    model.validate()?;
+    let pre = kernel
+        .presolve
+        .then(|| presolve::presolve_mip(model))
+        .transpose()?;
+    let target = pre.as_ref().map_or(model, Presolved::reduced);
+    let root = simplex::solve_lp_state_priced(target, &[], None, kernel.pricing)?;
+    let sol = solve_mip_from_root(target, max_nodes, true, root, kernel)?;
+    Ok(match &pre {
+        Some(p) => p.postsolve(model, &sol),
+        None => sol,
+    })
 }
 
 /// Cross-epoch solver cache: the structural fingerprint of the last
@@ -104,18 +195,43 @@ pub fn solve_mip_epoch(
     max_nodes: usize,
     cache: Option<&EpochCache>,
 ) -> Result<(Solution, EpochCache, bool), SolveError> {
+    solve_mip_epoch_with(model, max_nodes, cache, &KernelConfig::production())
+}
+
+/// [`solve_mip_epoch`] with an explicit [`KernelConfig`].
+///
+/// With presolve enabled, the cache fingerprints (and the warm start
+/// repairs) the *reduced* model — the tableau the kernel actually
+/// iterates on. Reductions are a deterministic function of the model,
+/// so structurally identical epochs reduce identically and keep
+/// hitting; an epoch whose bounds/RHS shift the reduction (e.g. a
+/// newly choked site fixes extra binaries) changes the reduced
+/// skeleton and falls back to a cold root, which is correct — just
+/// slower for that epoch.
+pub fn solve_mip_epoch_with(
+    model: &Model,
+    max_nodes: usize,
+    cache: Option<&EpochCache>,
+    kernel: &KernelConfig,
+) -> Result<(Solution, EpochCache, bool), SolveError> {
     let _span = vb_telemetry::span!("solver.mip_solve");
     vb_telemetry::counter!("solver.mip_solves").inc();
     model.validate()?;
+
+    let pre = kernel
+        .presolve
+        .then(|| presolve::presolve_mip(model))
+        .transpose()?;
+    let target = pre.as_ref().map_or(model, Presolved::reduced);
 
     // `Err(Infeasible)` from the repair is NOT trusted as a certificate
     // here: unlike the branch-and-bound warm start (same model, only
     // bounds moved), an epoch swapped in new RHS values, and a frozen
     // redundant row can make the repair fail on a feasible model. Any
     // warm failure just means a cold root.
-    let warm_root = cache
-        .filter(|c| c.skeleton.matches(model))
-        .and_then(|c| simplex::solve_lp_epoch_warm(model, &c.root_state).ok());
+    let warm_root = cache.filter(|c| c.skeleton.matches(target)).and_then(|c| {
+        simplex::solve_lp_epoch_warm_priced(target, &c.root_state, kernel.pricing).ok()
+    });
     let hit = warm_root.is_some();
     if hit {
         vb_telemetry::counter!("solver.epoch_warm_hits").inc();
@@ -124,24 +240,56 @@ pub fn solve_mip_epoch(
     }
     let root = match warm_root {
         Some(r) => r,
-        None => simplex::solve_lp_state(model, &[], None)?,
+        None => simplex::solve_lp_state_priced(target, &[], None, kernel.pricing)?,
     };
     let next = EpochCache {
-        skeleton: ModelSkeleton::of(model),
+        skeleton: ModelSkeleton::of(target),
         root_state: root.1.clone(),
     };
-    let sol = solve_mip_from_root(model, max_nodes, true, root)?;
+    let sol = solve_mip_from_root(target, max_nodes, true, root, kernel)?;
+    let sol = match &pre {
+        Some(p) => p.postsolve(model, &sol),
+        None => sol,
+    };
     Ok((sol, next, hit))
 }
 
 /// The branch & bound search proper, starting from an already-solved
 /// root relaxation (cold or epoch-warm — the search below it is
 /// identical, so warm and cold epochs produce the same schedule).
+///
+/// The node budget counts *popped* nodes: the search pops and expands
+/// at most `max_nodes` nodes, and `max_nodes == 0` does no work at all
+/// (not even the rounding dive). When the budget runs out with nodes
+/// still queued, the best incumbent is returned anytime-style, or
+/// [`SolveError::IterationLimit`] if none exists yet.
+///
+/// # Deterministic parallelism
+///
+/// With `kernel.parallel`, up to [`PAR_BATCH`] nodes are expanded per
+/// round through `vb_par::par_map`. Determinism at any thread count
+/// follows from four properties:
+///
+/// 1. batch *membership* is decided sequentially (pops, budget, and
+///    prune checks happen before any parallel work, against the same
+///    incumbent regardless of thread count);
+/// 2. expanding a node ([`expand`]) is a pure function of that node —
+///    it reads no search-global state;
+/// 3. `par_map` returns results in batch index order and they are
+///    *applied* (incumbent updates, child pushes) sequentially in that
+///    order;
+/// 4. heap ties on equal bounds break on a monotone insertion counter
+///    ([`Node::seq`]), so the pop order never depends on
+///    `BinaryHeap`'s internal layout of equal keys.
+///
+/// The serial path is the same loop with a batch size of 1, which is
+/// exactly the PR 7 search (modulo the budget fix above).
 fn solve_mip_from_root(
     model: &Model,
     max_nodes: usize,
     warm_start: bool,
     root: (Solution, SimplexState),
+    kernel: &KernelConfig,
 ) -> Result<Solution, SolveError> {
     let int_vars: Vec<VarId> = model
         .vars
@@ -152,7 +300,7 @@ fn solve_mip_from_root(
         .collect();
 
     let (root, root_state) = root;
-    let root_state = Rc::new(root_state);
+    let root_state = Arc::new(root_state);
 
     let better = |a: f64, b: f64| match model.sense {
         Sense::Minimize => a < b - 1e-9,
@@ -160,76 +308,108 @@ fn solve_mip_from_root(
     };
 
     let mut heap = BinaryHeap::new();
+    let mut seq = 0u64;
     heap.push(Node {
         bound: root.objective,
         sense: model.sense,
+        seq,
         overrides: Vec::new(),
         relaxed: root.clone(),
-        state: Rc::clone(&root_state),
+        state: Arc::clone(&root_state),
     });
+    seq += 1;
 
     // Rounding dive from the root: fix the most fractional variable to
     // its nearest integer and re-solve until integral. This produces an
-    // incumbent in ~|int_vars| LP solves, making bounded solves anytime.
-    let mut incumbent: Option<Solution> = dive(model, &int_vars, root, &root_state, warm_start);
+    // incumbent in ~|int_vars| LP solves, making bounded solves anytime
+    // — skipped entirely under a zero budget, which asked for no work.
+    let mut incumbent: Option<Solution> = if max_nodes > 0 {
+        dive(
+            model,
+            &int_vars,
+            root,
+            &root_state,
+            warm_start,
+            kernel.pricing,
+        )
+    } else {
+        None
+    };
+    let batch_cap = if kernel.parallel { PAR_BATCH } else { 1 };
     let mut explored = 0usize;
     let mut pruned = 0u64;
     let mut improvements = 0u64;
-    let mut budget_exhausted = false;
+    let mut par_batches = 0u64;
+    let mut par_nodes = 0u64;
+    let budget_exhausted;
 
-    while let Some(node) = heap.pop() {
-        explored += 1;
-        if explored > max_nodes {
-            budget_exhausted = true;
-            break;
-        }
-        // Bound pruning: the node's relaxation bound cannot beat the
-        // incumbent.
-        if let Some(inc) = &incumbent {
-            if !better(node.bound, inc.objective) {
-                pruned += 1;
-                continue;
-            }
-        }
-
-        match most_fractional(&node.relaxed, &int_vars) {
-            None => {
-                // Integral: candidate incumbent (round off the epsilon).
-                let snapped = snap(&node.relaxed, &int_vars);
-                let accept = incumbent
-                    .as_ref()
-                    .is_none_or(|inc| better(snapped.objective, inc.objective));
-                if accept {
-                    incumbent = Some(snapped);
-                    improvements += 1;
+    loop {
+        // Sequential batch selection under the node budget. Every
+        // popped node counts against the budget, and every counted
+        // node is actually processed (pruned or expanded) — the budget
+        // can no longer eat a node it never looked at.
+        let mut batch: Vec<Node> = Vec::new();
+        while batch.len() < batch_cap && explored < max_nodes {
+            let Some(node) = heap.pop() else { break };
+            explored += 1;
+            // Bound pruning: the node's relaxation bound cannot beat
+            // the incumbent.
+            if let Some(inc) = &incumbent {
+                if !better(node.bound, inc.objective) {
+                    pruned += 1;
+                    continue;
                 }
             }
-            Some((var, value)) => {
-                let floor = value.floor();
-                for (lo, hi) in [(f64::NEG_INFINITY, floor), (floor + 1.0, f64::INFINITY)] {
-                    let mut overrides = node.overrides.clone();
-                    let (base_lb, base_ub) = effective_bounds(model, &overrides, var);
-                    let new_lb = base_lb.max(lo);
-                    let new_ub = base_ub.min(hi);
-                    if new_lb > new_ub + INT_EPS {
-                        continue;
+            batch.push(node);
+        }
+        if batch.is_empty() {
+            budget_exhausted = explored >= max_nodes && !heap.is_empty();
+            break;
+        }
+
+        // Expand the batch: the per-node LP work, fanned out when the
+        // batch warrants it. `par_map` preserves index order.
+        let expansions: Vec<Expansion> = if batch.len() > 1 {
+            par_batches += 1;
+            par_nodes += batch.len() as u64;
+            vb_par::par_map(batch.len(), |i| {
+                expand(model, &int_vars, &batch[i], warm_start, kernel.pricing)
+            })
+        } else {
+            batch
+                .iter()
+                .map(|n| expand(model, &int_vars, n, warm_start, kernel.pricing))
+                .collect()
+        };
+
+        // Apply in batch index order — the incumbent sequence is a
+        // deterministic function of the node schedule alone.
+        for exp in expansions {
+            match exp {
+                Expansion::Integral(snapped) => {
+                    let accept = incumbent
+                        .as_ref()
+                        .is_none_or(|inc| better(snapped.objective, inc.objective));
+                    if accept {
+                        incumbent = Some(snapped);
+                        improvements += 1;
                     }
-                    overrides.retain(|&(v, _, _)| v != var);
-                    overrides.push((var, new_lb, new_ub));
-                    let parent = warm_start.then(|| &*node.state);
-                    if let Ok((relaxed, state)) = simplex::solve_lp_state(model, &overrides, parent)
-                    {
+                }
+                Expansion::Children(children) => {
+                    for child in children {
                         let keep = incumbent
                             .as_ref()
-                            .is_none_or(|inc| better(relaxed.objective, inc.objective));
+                            .is_none_or(|inc| better(child.relaxed.objective, inc.objective));
                         if keep {
                             heap.push(Node {
-                                bound: relaxed.objective,
+                                bound: child.relaxed.objective,
                                 sense: model.sense,
-                                overrides,
-                                relaxed,
-                                state: Rc::new(state),
+                                seq,
+                                overrides: child.overrides,
+                                relaxed: child.relaxed,
+                                state: child.state,
                             });
+                            seq += 1;
                         }
                     }
                 }
@@ -241,12 +421,73 @@ fn solve_mip_from_root(
     vb_telemetry::counter!("solver.mip_nodes_pruned").add(pruned);
     vb_telemetry::counter!("solver.mip_incumbent_improvements").add(improvements);
     vb_telemetry::histogram!("solver.mip_nodes_per_solve").observe(explored as f64);
+    if par_batches > 0 {
+        vb_telemetry::counter!("solver.bb_parallel_batches").add(par_batches);
+        vb_telemetry::counter!("solver.bb_parallel_nodes").add(par_nodes);
+    }
 
     incumbent.ok_or(if budget_exhausted {
         SolveError::IterationLimit
     } else {
         SolveError::Infeasible
     })
+}
+
+/// What expanding one node produced: an integral (snapped) candidate
+/// incumbent, or the surviving branch children with their solved
+/// relaxations.
+enum Expansion {
+    Integral(Solution),
+    Children(Vec<Child>),
+}
+
+/// One solved branch child, ready to become a heap [`Node`].
+struct Child {
+    overrides: Vec<(VarId, f64, f64)>,
+    relaxed: Solution,
+    state: Arc<SimplexState>,
+}
+
+/// Expand one node: branch on its most fractional integer variable and
+/// solve both children's relaxations (or report the node integral). A
+/// pure function of the node — no incumbent checks, no heap access —
+/// so batches of nodes can expand in parallel with bit-identical
+/// results in any interleaving.
+fn expand(
+    model: &Model,
+    int_vars: &[VarId],
+    node: &Node,
+    warm_start: bool,
+    pricing: Pricing,
+) -> Expansion {
+    let Some((var, value)) = most_fractional(&node.relaxed, int_vars) else {
+        // Integral: candidate incumbent (round off the epsilon).
+        return Expansion::Integral(snap(model, &node.relaxed, int_vars));
+    };
+    let floor = value.floor();
+    let mut children = Vec::with_capacity(2);
+    for (lo, hi) in [(f64::NEG_INFINITY, floor), (floor + 1.0, f64::INFINITY)] {
+        let mut overrides = node.overrides.clone();
+        let (base_lb, base_ub) = effective_bounds(model, &overrides, var);
+        let new_lb = base_lb.max(lo);
+        let new_ub = base_ub.min(hi);
+        if new_lb > new_ub + INT_EPS {
+            continue;
+        }
+        overrides.retain(|&(v, _, _)| v != var);
+        overrides.push((var, new_lb, new_ub));
+        let parent = warm_start.then(|| &*node.state);
+        if let Ok((relaxed, state)) =
+            simplex::solve_lp_state_priced(model, &overrides, parent, pricing)
+        {
+            children.push(Child {
+                overrides,
+                relaxed,
+                state: Arc::new(state),
+            });
+        }
+    }
+    Expansion::Children(children)
 }
 
 /// Greedy rounding dive: repeatedly fix the most fractional integer
@@ -260,12 +501,13 @@ fn dive(
     mut relaxed: Solution,
     root_state: &SimplexState,
     warm_start: bool,
+    pricing: Pricing,
 ) -> Option<Solution> {
     let mut overrides: Vec<(VarId, f64, f64)> = Vec::new();
     let mut state = root_state.clone();
     loop {
         let Some((var, value)) = most_fractional(&relaxed, int_vars) else {
-            return Some(snap(&relaxed, int_vars));
+            return Some(snap(model, &relaxed, int_vars));
         };
         let (lb, ub) = (model.vars[var.0].lb, model.vars[var.0].ub);
         let nearest = value.round().clamp(lb.ceil(), ub.floor());
@@ -281,7 +523,7 @@ fn dive(
             trial.retain(|&(v, _, _)| v != var);
             trial.push((var, candidate, candidate));
             let parent = warm_start.then_some(&state);
-            if let Ok((sol, st)) = simplex::solve_lp_state(model, &trial, parent) {
+            if let Ok((sol, st)) = simplex::solve_lp_state_priced(model, &trial, parent, pricing) {
                 overrides = trial;
                 relaxed = sol;
                 state = st;
@@ -320,29 +562,46 @@ fn most_fractional(sol: &Solution, int_vars: &[VarId]) -> Option<(VarId, f64)> {
     best.map(|(v, x, _)| (v, x))
 }
 
-/// Round integer variables exactly onto the grid.
-fn snap(sol: &Solution, int_vars: &[VarId]) -> Solution {
+/// Round integer variables exactly onto the grid and **recompute the
+/// objective from the model's cost vector** over the snapped values.
+/// Keeping the relaxation objective (the pre-PR 8 behaviour) carries
+/// the rounding drift into incumbent comparisons, where it can flip
+/// which of two near-tied incumbents survives. Recomputing in the
+/// model's own term order also makes the objective bit-identical for
+/// the same assignment no matter which kernel path produced it.
+fn snap(model: &Model, sol: &Solution, int_vars: &[VarId]) -> Solution {
     let mut values = sol.values().to_vec();
     for &v in int_vars {
         values[v.0] = values[v.0].round();
     }
-    Solution::new(sol.objective, values)
+    let objective: f64 = model
+        .objective
+        .iter()
+        .map(|&(v, c)| c * values[v.0])
+        .sum::<f64>()
+        + model.objective_const;
+    Solution::new(objective, values)
 }
 
 /// Branch & bound search node, ordered so the heap pops the best bound
-/// first (largest for maximisation, smallest for minimisation). Carries
-/// the node's optimal simplex state so children can warm-start from it.
+/// first (largest for maximisation, smallest for minimisation), with
+/// equal bounds breaking FIFO on the insertion counter `seq` — the
+/// pop order is a pure function of the push sequence, never of
+/// `BinaryHeap` internals. Carries the node's optimal simplex state so
+/// children can warm-start from it.
 struct Node {
     bound: f64,
     sense: Sense,
+    /// Monotone insertion counter; unique per heap.
+    seq: u64,
     overrides: Vec<(VarId, f64, f64)>,
     relaxed: Solution,
-    state: Rc<SimplexState>,
+    state: Arc<SimplexState>,
 }
 
 impl PartialEq for Node {
     fn eq(&self, other: &Self) -> bool {
-        self.bound == other.bound
+        self.bound == other.bound && self.seq == other.seq
     }
 }
 impl Eq for Node {}
@@ -354,10 +613,13 @@ impl PartialOrd for Node {
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
         let ord = self.bound.total_cmp(&other.bound);
-        match self.sense {
+        let ord = match self.sense {
             Sense::Maximize => ord,
             Sense::Minimize => ord.reverse(),
-        }
+        };
+        // Max-heap: the *smaller* seq must compare greater so equal
+        // bounds pop first-in-first-out.
+        ord.then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -647,5 +909,134 @@ mod tests {
             let again = solve_mip(&m).unwrap();
             assert_eq!(first.values(), again.values());
         }
+    }
+
+    #[test]
+    fn incumbent_objective_is_recomputed_from_snapped_values() {
+        // Regression for the snap() drift bug. Two competing plans are
+        // gated by binaries z1/z2 through a knapsack z1 + z2 ≤ 1.4:
+        //   A: x (worth 10^7), throttled to CAP = 1 − 9e-7 by its own
+        //      cap row, so the relaxation values A at 9_999_991 while
+        //      the snapped assignment is worth exactly 10^7;
+        //   B: y (worth 9_999_995), exactly integral.
+        // The rounding dive finds A first. The buggy snap kept A's
+        // *relaxation* objective, so B (9_999_995 > 9_999_991) would
+        // replace it later in the search; recomputing from the cost
+        // vector (10^7 > 9_999_995) correctly keeps A.
+        const CAP: f64 = 1.0 - 9.0e-7;
+        let mut m = Model::new(Sense::Maximize);
+        let z1 = m.bin_var("z1");
+        let z2 = m.bin_var("z2");
+        let x = m.bin_var("x");
+        let y = m.bin_var("y");
+        let e = m.expr(&[(x, 1.0), (z1, -1.0)]);
+        m.add_le(e, 0.0);
+        let e = m.expr(&[(x, 1.0)]);
+        m.add_le(e, CAP);
+        let e = m.expr(&[(y, 1.0), (z2, -1.0)]);
+        m.add_le(e, 0.0);
+        let e = m.expr(&[(z1, 0.6), (z2, 0.6)]);
+        m.add_le(e, 0.84);
+        let obj = m.expr(&[(x, 1.0e7), (y, 9_999_995.0)]);
+        m.set_objective(obj);
+
+        let s = solve_mip_bounded_with(&m, MAX_NODES, true).unwrap();
+        assert_eq!(
+            (s.int_value(x), s.int_value(y)),
+            (1, 0),
+            "snap drift flipped the incumbent"
+        );
+        assert!(
+            (s.objective - 1.0e7).abs() < 1e-3,
+            "objective must be the snapped assignment's true value, got {}",
+            s.objective
+        );
+    }
+
+    fn knapsack() -> (Model, Vec<VarId>) {
+        let mut m = Model::new(Sense::Maximize);
+        let x: Vec<VarId> = (0..3).map(|i| m.bin_var(&format!("x{i}"))).collect();
+        let e = m.expr(&[(x[0], 10.0), (x[1], 20.0), (x[2], 30.0)]);
+        m.add_le(e, 50.0);
+        let obj = m.expr(&[(x[0], 60.0), (x[1], 100.0), (x[2], 120.0)]);
+        m.set_objective(obj);
+        (m, x)
+    }
+
+    #[test]
+    fn zero_node_budget_does_no_work_and_reports_the_budget() {
+        // max_nodes = 0 previously still ran the rounding dive (one LP
+        // per integer variable) and returned its incumbent as Ok. A
+        // zero budget must do no search work: no dive, no pops, and an
+        // IterationLimit report (there are unexplored nodes).
+        let (m, _) = knapsack();
+        assert_eq!(
+            solve_mip_bounded(&m, 0).unwrap_err(),
+            SolveError::IterationLimit
+        );
+    }
+
+    #[test]
+    fn single_node_budget_returns_the_dive_incumbent() {
+        // max_nodes = 1 pops exactly the root: the budget no longer
+        // counts a node it never processed, and the dive incumbent
+        // (which reaches the true optimum here) is returned anytime-
+        // style.
+        let (m, x) = knapsack();
+        let s = solve_mip_bounded(&m, 1).unwrap();
+        assert!((s.objective - 220.0).abs() < 1e-6, "obj {}", s.objective);
+        assert_eq!(
+            (s.int_value(x[0]), s.int_value(x[1]), s.int_value(x[2])),
+            (0, 1, 1)
+        );
+    }
+
+    #[test]
+    fn production_kernel_matches_baseline_bit_for_bit() {
+        // Presolve + devex + parallel B&B on vs. off: the objective
+        // must be bit-identical (snap() recomputes it from the same
+        // cost vector over the same unique-optimum assignment).
+        for seed in 0..6u64 {
+            let m = placement_model(8, 3, seed * 11 + 5);
+            let base = solve_mip_kernel(&m, MAX_NODES, &KernelConfig::baseline()).unwrap();
+            let prod = solve_mip_kernel(&m, MAX_NODES, &KernelConfig::production()).unwrap();
+            assert_eq!(
+                base.objective.to_bits(),
+                prod.objective.to_bits(),
+                "seed {seed}: kernel objective drifted: {} vs {}",
+                base.objective,
+                prod.objective
+            );
+        }
+    }
+
+    #[test]
+    fn production_kernel_presolves_pinned_placements() {
+        // A model with singleton pins must survive the reduce/postsolve
+        // round trip: pinned vars come back in the full solution.
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.bin_var("a0s0");
+        let b = m.bin_var("a0s1");
+        let e = m.expr(&[(a, 1.0), (b, 1.0)]);
+        m.add_eq(e, 1.0);
+        let e = m.expr(&[(a, 1.0)]);
+        m.add_eq(e, 1.0); // pin a0 home
+        let c = m.bin_var("a1s0");
+        let d = m.bin_var("a1s1");
+        let e2 = m.expr(&[(c, 1.0), (d, 1.0)]);
+        m.add_eq(e2, 1.0);
+        let obj = m.expr(&[(a, 1.0), (b, 9.0), (c, 5.0), (d, 2.0)]);
+        m.set_objective(obj);
+        let s = solve_mip_kernel(&m, MAX_NODES, &KernelConfig::production()).unwrap();
+        assert_eq!(
+            (
+                s.int_value(a),
+                s.int_value(b),
+                s.int_value(c),
+                s.int_value(d)
+            ),
+            (1, 0, 0, 1)
+        );
+        assert!((s.objective - 3.0).abs() < 1e-9);
     }
 }

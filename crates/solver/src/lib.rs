@@ -21,6 +21,12 @@
 //!   their parent's optimal basis, and [`branch::solve_mip_epoch`]
 //!   carries the optimal root state *across* successive solves of a
 //!   structurally identical model (the co-scheduler's epoch loop).
+//!   The production kernel ([`KernelConfig::production`]) adds devex
+//!   pricing and deterministic parallel node-batch expansion.
+//! * [`presolve`] — fixed-variable elimination, singleton-row
+//!   substitution, and bound tightening that shrink a model before the
+//!   kernel sees it, with a deterministic postsolve back to the
+//!   original variable space.
 //! * [`skeleton`] — the structural fingerprint ([`ModelSkeleton`]) that
 //!   gates cross-epoch state reuse.
 //! * [`dense`] — the original row-expansion two-phase simplex, kept as
@@ -49,9 +55,14 @@
 pub mod branch;
 pub mod dense;
 pub mod model;
+pub mod presolve;
 pub mod simplex;
 pub mod skeleton;
 
-pub use branch::{solve_mip_epoch, EpochCache};
+pub use branch::{
+    solve_mip_epoch, solve_mip_epoch_with, solve_mip_kernel, EpochCache, KernelConfig,
+};
 pub use model::{Cmp, LinExpr, Model, Sense, Solution, SolveError, VarId};
+pub use presolve::{PresolveStats, Presolved};
+pub use simplex::Pricing;
 pub use skeleton::ModelSkeleton;

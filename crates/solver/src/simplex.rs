@@ -57,6 +57,26 @@
 
 use crate::model::{Cmp, Model, Sense, Solution, SolveError, VarId};
 
+/// Entering-column pricing rule for the primal iterations.
+///
+/// Both rules share the Bland anti-cycling fallback (a full lowest-index
+/// scan after [`BLAND_AFTER`] iterations) and break every tie by lowest
+/// column index, so either way a solve is a deterministic function of
+/// the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pricing {
+    /// Cyclic partial Dantzig scan (the PR 7 kernel's rule): cheap per
+    /// iteration, but the largest-violation choice can pivot many times
+    /// on near-parallel edges.
+    #[default]
+    Dantzig,
+    /// Devex pricing: approximate steepest-edge with reference weights
+    /// that start at 1, grow per pivot from the pivot row, and reset
+    /// when they overflow [`DEVEX_RESET`]. More work per scan, far
+    /// fewer pivots on the fleet-shaped models.
+    Devex,
+}
+
 /// Pivot / ratio-test tolerance.
 const EPS: f64 = 1e-9;
 /// Reduced-cost optimality tolerance.
@@ -73,6 +93,10 @@ const DROP_EPS: f64 = 1e-12;
 /// least this many columns (and at least `cols / 8`) once a violating
 /// candidate has been found before committing to the best seen.
 const PRICE_BLOCK: usize = 64;
+/// Devex reference weights reset to 1 when any weight exceeds this —
+/// the reference framework has drifted too far to approximate
+/// steepest-edge norms usefully.
+const DEVEX_RESET: f64 = 1e7;
 
 /// A sparse tableau row: parallel `(column, value)` arrays sorted by
 /// column index, nonzeros only.
@@ -208,6 +232,17 @@ pub fn solve_lp_state(
     bound_overrides: &[(VarId, f64, f64)],
     warm: Option<&SimplexState>,
 ) -> Result<(Solution, SimplexState), SolveError> {
+    solve_lp_state_priced(model, bound_overrides, warm, Pricing::Dantzig)
+}
+
+/// [`solve_lp_state`] with an explicit entering-column [`Pricing`] rule
+/// for the primal passes (the dual-simplex repair is pricing-agnostic).
+pub fn solve_lp_state_priced(
+    model: &Model,
+    bound_overrides: &[(VarId, f64, f64)],
+    warm: Option<&SimplexState>,
+    pricing: Pricing,
+) -> Result<(Solution, SimplexState), SolveError> {
     let _span = vb_telemetry::span!("solver.lp_solve");
     vb_telemetry::counter!("solver.lp_solves").inc();
 
@@ -232,7 +267,7 @@ pub fn solve_lp_state(
 
     if let Some(parent) = warm {
         if parent.n == n && parent.m == model.constraints.len() {
-            match warm_solve(model, &lb, &ub, parent) {
+            match warm_solve(model, &lb, &ub, parent, pricing) {
                 Ok(done) => {
                     vb_telemetry::counter!("solver.warm_start_hits").inc();
                     return Ok(done);
@@ -250,7 +285,7 @@ pub fn solve_lp_state(
         }
     }
 
-    cold_solve(model, lb, ub)
+    cold_solve(model, lb, ub, pricing)
 }
 
 /// Re-solve a *structurally identical* model from a previous epoch's
@@ -271,6 +306,16 @@ pub fn solve_lp_state(
 pub fn solve_lp_epoch_warm(
     model: &Model,
     prev: &SimplexState,
+) -> Result<(Solution, SimplexState), SolveError> {
+    solve_lp_epoch_warm_priced(model, prev, Pricing::Dantzig)
+}
+
+/// [`solve_lp_epoch_warm`] with an explicit [`Pricing`] rule for the
+/// primal clean-up pass.
+pub fn solve_lp_epoch_warm_priced(
+    model: &Model,
+    prev: &SimplexState,
+    pricing: Pricing,
 ) -> Result<(Solution, SimplexState), SolveError> {
     let _span = vb_telemetry::span!("solver.lp_solve");
     vb_telemetry::counter!("solver.lp_solves").inc();
@@ -301,7 +346,7 @@ pub fn solve_lp_epoch_warm(
     let c2 = st.phase2_costs(model);
     let mut d = st.reduced_costs(&c2);
     st.dual_iterate(&mut d, st.art_start)?;
-    st.iterate(&mut d, st.art_start)?;
+    st.iterate_with(&mut d, st.art_start, pricing)?;
     let sol = st.extract(model);
     Ok((sol, st))
 }
@@ -311,6 +356,7 @@ fn cold_solve(
     model: &Model,
     lb: Vec<f64>,
     ub: Vec<f64>,
+    pricing: Pricing,
 ) -> Result<(Solution, SimplexState), SolveError> {
     let mut st = SimplexState::build(model, lb, ub);
     vb_telemetry::histogram!("solver.tableau_rows").observe(st.m as f64);
@@ -322,7 +368,7 @@ fn cold_solve(
             *c = 1.0;
         }
         let mut d = st.reduced_costs(&c1);
-        st.iterate(&mut d, st.cols)?; // artificials may pivot in phase 1
+        st.iterate_with(&mut d, st.cols, pricing)?; // artificials may pivot in phase 1
         let infeas: f64 = (0..st.m)
             .filter(|&i| st.basis[i] >= st.art_start)
             .map(|i| st.rhs[i])
@@ -336,7 +382,7 @@ fn cold_solve(
     // Phase 2: the real objective, artificials barred from entering.
     let c2 = st.phase2_costs(model);
     let mut d = st.reduced_costs(&c2);
-    st.iterate(&mut d, st.art_start)?;
+    st.iterate_with(&mut d, st.art_start, pricing)?;
 
     let sol = st.extract(model);
     Ok((sol, st))
@@ -349,6 +395,7 @@ fn warm_solve(
     lb: &[f64],
     ub: &[f64],
     parent: &SimplexState,
+    pricing: Pricing,
 ) -> Result<(Solution, SimplexState), SolveError> {
     let mut st = parent.clone();
     st.apply_bounds(lb, ub)?;
@@ -358,7 +405,7 @@ fn warm_solve(
     // The repair restores primal feasibility; reduced costs stayed dual
     // feasible throughout, so this pass usually does zero pivots. It
     // also mops up any nonbasic variable whose bound side had to switch.
-    st.iterate(&mut d, st.art_start)?;
+    st.iterate_with(&mut d, st.art_start, pricing)?;
     let sol = st.extract(model);
     Ok((sol, st))
 }
@@ -651,18 +698,40 @@ impl SimplexState {
 
     /// Primal bounded-variable simplex on reduced costs `d` until no
     /// nonbasic column priced below `col_limit` can improve. Bound flips
-    /// and pivots both count toward the iteration cap.
-    fn iterate(&mut self, d: &mut [f64], col_limit: usize) -> Result<(), SolveError> {
+    /// and pivots both count toward the iteration cap. Devex
+    /// reference weights live for exactly one call — every solve (and
+    /// every warm-start clean-up pass) starts a fresh reference
+    /// framework, so pricing history can never leak between solves and
+    /// a solve stays a pure function of `(model, bounds, basis)`.
+    fn iterate_with(
+        &mut self,
+        d: &mut [f64],
+        col_limit: usize,
+        pricing: Pricing,
+    ) -> Result<(), SolveError> {
         let max_iter = 20_000 + 100 * (self.m + self.cols);
         let mut pivots = 0u64;
         let mut flips = 0u64;
         let mut degenerate = 0u64;
         let mut scanned = 0u64;
+        let mut devex_pivots = 0u64;
+        let mut devex_resets = 0u64;
+        let mut weights: Option<Vec<f64>> = match pricing {
+            Pricing::Dantzig => None,
+            Pricing::Devex => Some(vec![1.0; self.cols]),
+        };
         let result = (|| {
             let mut ecol = vec![0.0; self.m];
             for iter in 0..max_iter {
                 let bland = iter >= BLAND_AFTER;
-                let Some(enter) = self.choose_entering(d, col_limit, bland, &mut scanned) else {
+                let enter = if bland {
+                    self.choose_entering(d, col_limit, true, &mut scanned)
+                } else if let Some(w) = weights.as_ref() {
+                    self.choose_entering_devex(d, col_limit, w, &mut scanned)
+                } else {
+                    self.choose_entering(d, col_limit, false, &mut scanned)
+                };
+                let Some(enter) = enter else {
                     return Ok(());
                 };
                 // Direction the entering variable moves: up from its
@@ -698,8 +767,16 @@ impl SimplexState {
                             (self.rhs[row] - target) / ecol[row],
                             "pivot",
                         );
+                        let alpha = ecol[row];
+                        let leave = self.basis[row];
                         self.pivot_to(row, enter, target, leave_at_upper, d, &ecol);
                         pivots += 1;
+                        if let Some(w) = weights.as_mut() {
+                            devex_pivots += 1;
+                            if Self::devex_update(w, &self.rows[row], enter, leave, alpha) {
+                                devex_resets += 1;
+                            }
+                        }
                     }
                 }
             }
@@ -713,7 +790,78 @@ impl SimplexState {
         if degenerate > 0 {
             vb_telemetry::counter!("solver.degenerate_pivots").add(degenerate);
         }
+        if devex_pivots > 0 {
+            vb_telemetry::counter!("solver.devex_pivots").add(devex_pivots);
+        }
+        if devex_resets > 0 {
+            vb_telemetry::counter!("solver.devex_resets").add(devex_resets);
+        }
         result
+    }
+
+    /// Devex reference-weight update after a pivot with entering column
+    /// `enter` and leaving column `leave` (pivot element `alpha`).
+    /// `prow` is the already-scaled pivot row, so its entry at column
+    /// `j` is exactly `α_rj/α_rq` — the quantity the classic devex
+    /// recurrence needs: `w_j ← max(w_j, (α_rj/α_rq)²·w_q)` for the
+    /// pivot row's nonzeros, and `w_leave ← max(w_q/α², 1)` for the
+    /// variable that just went nonbasic. Returns `true` when the
+    /// framework overflowed [`DEVEX_RESET`] and every weight was reset
+    /// to 1 (a fresh reference framework).
+    fn devex_update(w: &mut [f64], prow: &SpRow, enter: usize, leave: usize, alpha: f64) -> bool {
+        let wq = w[enter].max(1.0);
+        let mut wmax = 0.0f64;
+        for (j, p) in prow.iter() {
+            if j != enter {
+                let cand = p * p * wq;
+                if cand > w[j] {
+                    w[j] = cand;
+                }
+                if w[j] > wmax {
+                    wmax = w[j];
+                }
+            }
+        }
+        w[leave] = (wq / (alpha * alpha)).max(1.0);
+        w[enter] = 1.0;
+        if wmax.max(w[leave]) > DEVEX_RESET {
+            for x in w.iter_mut() {
+                *x = 1.0;
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Devex entering choice: the nonbasic column maximising
+    /// `d_j²/w_j` over all violations. A full deterministic scan —
+    /// unlike the cyclic Dantzig block, devex pays for a global look
+    /// each iteration and earns it back in pivot count; ties break on
+    /// the lowest column index (first strict improvement wins).
+    fn choose_entering_devex(
+        &self,
+        d: &[f64],
+        col_limit: usize,
+        w: &[f64],
+        scanned: &mut u64,
+    ) -> Option<usize> {
+        let mut best = None;
+        let mut best_score = 0.0f64;
+        for (j, &dj) in d.iter().enumerate().take(col_limit) {
+            if self.basis_pos[j] != usize::MAX || self.ub[j] - self.lb[j] <= EPS {
+                continue; // basic or fixed
+            }
+            *scanned += 1;
+            let viol = if self.at_upper[j] { dj } else { -dj };
+            if viol > COST_EPS {
+                let score = viol * viol / w[j];
+                if score > best_score {
+                    best_score = score;
+                    best = Some(j);
+                }
+            }
+        }
+        best
     }
 
     /// Entering column. Dantzig mode prices a cyclic candidate block: a

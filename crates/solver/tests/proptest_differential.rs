@@ -10,10 +10,15 @@
 //!    with perturbed RHS/objective/bounds through
 //!    [`vb_solver::simplex::solve_lp_epoch_warm`] must agree with a
 //!    cold solve of the perturbed model whenever the repair succeeds
-//!    (a failed repair is allowed: callers fall back to a cold root).
+//!    (a failed repair is allowed: callers fall back to a cold root);
+//! 4. presolve round-trips — presolve → solve the reduced model →
+//!    postsolve must agree with a direct solve of the original, on both
+//!    random sparse LPs and placement relaxations with branch-style
+//!    singleton fixings (the rows presolve eliminates outright).
 
 use proptest::prelude::*;
 use vb_solver::dense::solve_lp_reference;
+use vb_solver::presolve::presolve_lp;
 use vb_solver::simplex::{solve_lp, solve_lp_epoch_warm, solve_lp_state};
 use vb_solver::{Model, Sense, Solution, SolveError, VarId};
 
@@ -263,6 +268,57 @@ proptest! {
             let cold = solve_lp(&next, &[]);
             assert_agree(&Ok(warm), &cold);
             assert_agree(&cold, &solve_lp_reference(&next, &[]));
+        }
+    }
+
+    #[test]
+    fn presolve_round_trips_on_random_sparse_lps(lp in sparse_lp(6, 4)) {
+        let m = build(&lp, &[], 0, &[]);
+        let direct = solve_lp(&m, &[]);
+        match presolve_lp(&m) {
+            // Presolve may prove infeasibility on its own; the direct
+            // solve must agree.
+            Err(e) => assert_agree(&Err(e), &direct),
+            Ok(pre) => {
+                let round_trip =
+                    solve_lp(pre.reduced(), &[]).map(|s| pre.postsolve(&m, &s));
+                assert_agree(&round_trip, &direct);
+                assert_agree(&round_trip, &solve_lp_reference(&m, &[]));
+            }
+        }
+    }
+
+    #[test]
+    fn presolve_round_trips_on_branch_fixed_placements(
+        spec in placement_spec(4),
+        fixings in proptest::collection::vec(0..=2u32, 4),
+    ) {
+        // Bake branch-style decisions in as singleton equality rows —
+        // exactly the rows presolve folds into fixed variables — fixing
+        // app k at site (fixings[k] % SITES) for even k.
+        let (mut m, binaries) = build_placement(&spec);
+        for (k, &site) in fixings.iter().enumerate() {
+            if k % 2 != 0 {
+                continue;
+            }
+            for s in 0..SITES {
+                let v = binaries[k * SITES + s];
+                let fix = if s == site as usize { 1.0 } else { 0.0 };
+                let e = m.expr(&[(v, 1.0)]);
+                m.add_eq(e, fix);
+            }
+        }
+        let direct = solve_lp(&m, &[]);
+        match presolve_lp(&m) {
+            Err(e) => assert_agree(&Err(e), &direct),
+            Ok(pre) => {
+                // The singleton rows must actually have been eliminated.
+                prop_assert!(pre.num_fixed() >= 2 * SITES);
+                let round_trip =
+                    solve_lp(pre.reduced(), &[]).map(|s| pre.postsolve(&m, &s));
+                assert_agree(&round_trip, &direct);
+                assert_agree(&round_trip, &solve_lp_reference(&m, &[]));
+            }
         }
     }
 }

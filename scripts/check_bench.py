@@ -8,11 +8,16 @@ Compares a freshly produced bench result (`BENCH_solver.json`,
 when the run regressed past the tolerance band for any key. The rule
 table is selected by the file's `bench` field:
 
-* `solver_epoch_reuse` — the flat solver warm-start baseline;
+* `solver_epoch_reuse` — the flat solver warm-start baseline, plus
+  per-scale `scaling` rows (`1x`, `10x`, `100x` model sizes comparing
+  the production kernel against the pre-presolve baseline kernel)
+  flattened to `{scale}.{key}` entries;
 * `fleet_sim` — per-scale rows (`10x`, `100x`, ...) flattened to
   `{scale}.{key}` entries so every scale is gated independently.
-  `--rows=10x` restricts the gate to the named scales (CI runs the 10x
-  row only; the committed baseline also carries 100x).
+
+For either kind, `--rows=10x` restricts the gate to the named scales
+(CI runs the cheap scales only; the committed baseline also carries
+the expensive ones).
 
 Keys fall into three classes:
 
@@ -66,6 +71,29 @@ SOLVER_RULES = {
     "max_objective_drift": ("abs_max", 1e-6),
 }
 
+SOLVER_ROW_RULES = {
+    # Structural: a drifting model size means a different experiment.
+    "apps": ("exact", None),
+    "vars": ("exact", None),
+    "rows": ("exact", None),
+    "epochs": ("exact", None),
+    # Deterministic given the config: presolve reductions and pivot
+    # counts must not quietly regress.
+    "presolve_vars_fixed": ("exact", None),
+    "baseline_pivots": ("ratio", 1.1),
+    "kernel_pivots": ("ratio", 1.1),
+    # Wall-clock: wide bands for shared CI hosts.
+    "baseline_secs": ("ratio", 2.0),
+    "kernel_secs": ("ratio", 2.0),
+    # The headline claim: the production kernel's advantage over the
+    # baseline kernel. Both run in one process on one host, so host
+    # noise largely cancels in the ratio and the band can be tighter
+    # than the raw timers.
+    "speedup": ("ratio_min", 1.4),
+    # Presolve + devex + parallel B&B must not move any optimum.
+    "max_objective_drift": ("abs_max", 1e-6),
+}
+
 FLEET_TOP_RULES = {
     "shard_size": ("exact", None),
 }
@@ -105,37 +133,44 @@ def load(path):
         sys.exit(f"error: cannot load bench result {path}: {err}")
 
 
+def flatten_rows(data, path, rows_key, row_rules, flat, rules, rows_filter):
+    """Flatten `data[rows_key]` into `{scale}.{key}` entries in place."""
+    seen_scales = []
+    for row in data.get(rows_key, []):
+        scale = row.get("scale")
+        if not scale:
+            sys.exit(f"error: {path}: {rows_key} row without a `scale` field")
+        seen_scales.append(scale)
+        if rows_filter is not None and scale not in rows_filter:
+            continue
+        for key, value in row.items():
+            if key == "scale":
+                continue
+            if key not in row_rules:
+                sys.exit(f"error: {path}: no gate rule for {rows_key} row key `{key}`")
+            flat[f"{scale}.{key}"] = value
+            rules[f"{scale}.{key}"] = row_rules[key]
+    if rows_filter is not None:
+        unknown = sorted(set(rows_filter) - set(seen_scales))
+        if unknown:
+            sys.exit(
+                f"error: {path}: --rows names scales not in the file: "
+                f"{', '.join(unknown)}"
+            )
+
+
 def flatten(data, path, rows_filter=None):
     """(flat key -> value, flat key -> rule) for one bench file."""
     bench = data.get("bench")
     if bench == "solver_epoch_reuse":
-        flat = {k: v for k, v in data.items() if k != "bench"}
-        return flat, dict(SOLVER_RULES)
+        flat = {k: v for k, v in data.items() if k not in ("bench", "scaling")}
+        rules = dict(SOLVER_RULES)
+        flatten_rows(data, path, "scaling", SOLVER_ROW_RULES, flat, rules, rows_filter)
+        return flat, rules
     if bench == "fleet_sim":
         flat = {k: v for k, v in data.items() if k not in ("bench", "rows")}
         rules = dict(FLEET_TOP_RULES)
-        seen_scales = []
-        for row in data.get("rows", []):
-            scale = row.get("scale")
-            if not scale:
-                sys.exit(f"error: {path}: fleet row without a `scale` field")
-            seen_scales.append(scale)
-            if rows_filter is not None and scale not in rows_filter:
-                continue
-            for key, value in row.items():
-                if key == "scale":
-                    continue
-                if key not in FLEET_ROW_RULES:
-                    sys.exit(f"error: {path}: no gate rule for fleet row key `{key}`")
-                flat[f"{scale}.{key}"] = value
-                rules[f"{scale}.{key}"] = FLEET_ROW_RULES[key]
-        if rows_filter is not None:
-            unknown = sorted(set(rows_filter) - set(seen_scales))
-            if unknown:
-                sys.exit(
-                    f"error: {path}: --rows names scales not in the file: "
-                    f"{', '.join(unknown)}"
-                )
+        flatten_rows(data, path, "rows", FLEET_ROW_RULES, flat, rules, rows_filter)
         return flat, rules
     sys.exit(f"error: {path}: unknown bench kind {bench!r}")
 
@@ -228,7 +263,7 @@ def main(argv):
 
     rows_filter = None
     overrides = {}
-    known = {**SOLVER_RULES, **FLEET_ROW_RULES, **FLEET_TOP_RULES}
+    known = {**SOLVER_RULES, **SOLVER_ROW_RULES, **FLEET_ROW_RULES, **FLEET_TOP_RULES}
     for arg in argv[3:]:
         if arg.startswith("--rows="):
             rows_filter = [r for r in arg[len("--rows=") :].split(",") if r]

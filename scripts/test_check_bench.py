@@ -41,6 +41,25 @@ def solver_result(**updates):
     return base
 
 
+def solver_scale_row(scale, **updates):
+    row = {
+        "scale": scale,
+        "apps": 1600,
+        "vars": 4818,
+        "rows": 2578,
+        "epochs": 2,
+        "baseline_secs": 0.5,
+        "kernel_secs": 0.12,
+        "speedup": 4.2,
+        "baseline_pivots": 4000,
+        "kernel_pivots": 2000,
+        "presolve_vars_fixed": 5760,
+        "max_objective_drift": 0.0,
+    }
+    row.update(updates)
+    return row
+
+
 def fleet_row(scale, **updates):
     row = {
         "scale": scale,
@@ -114,6 +133,63 @@ class SolverGateTests(GateHarness):
         code, out = self.gate(fleet_result([fleet_row("10x")]), solver_result())
         self.assertEqual(code, 1, out)
         self.assertIn("bench kind mismatch", out)
+
+    def test_scaling_rows_gate_independently(self):
+        rows = [solver_scale_row("100x")]
+        code, out = self.gate(
+            solver_result(scaling=rows), solver_result(scaling=rows)
+        )
+        self.assertEqual(code, 0, out)
+        self.assertIn("100x.speedup", out)
+
+    def test_scaling_speedup_collapse_fails(self):
+        # The production kernel losing its edge over the baseline kernel
+        # (e.g. presolve silently disabled) must trip the gate.
+        code, out = self.gate(
+            solver_result(scaling=[solver_scale_row("100x", speedup=1.1)]),
+            solver_result(scaling=[solver_scale_row("100x")]),
+        )
+        self.assertEqual(code, 1, out)
+        self.assertIn("100x.speedup", out)
+
+    def test_scaling_presolve_reduction_drift_fails(self):
+        code, out = self.gate(
+            solver_result(scaling=[solver_scale_row("100x", presolve_vars_fixed=0)]),
+            solver_result(scaling=[solver_scale_row("100x")]),
+        )
+        self.assertEqual(code, 1, out)
+        self.assertIn("100x.presolve_vars_fixed", out)
+
+    def test_scaling_objective_drift_fails(self):
+        code, out = self.gate(
+            solver_result(
+                scaling=[solver_scale_row("100x", max_objective_drift=1e-3)]
+            ),
+            solver_result(scaling=[solver_scale_row("100x")]),
+        )
+        self.assertEqual(code, 1, out)
+        self.assertIn("100x.max_objective_drift", out)
+
+    def test_vanished_scaling_row_fails(self):
+        code, out = self.gate(
+            solver_result(scaling=[solver_scale_row("1x", apps=16)]),
+            solver_result(
+                scaling=[solver_scale_row("1x", apps=16), solver_scale_row("100x")]
+            ),
+        )
+        self.assertEqual(code, 1, out)
+        self.assertIn("only in baseline", out)
+
+    def test_rows_filter_applies_to_scaling_rows(self):
+        code, out = self.gate(
+            solver_result(scaling=[solver_scale_row("1x", apps=16)]),
+            solver_result(
+                scaling=[solver_scale_row("1x", apps=16), solver_scale_row("100x")]
+            ),
+            rows_filter=["1x"],
+        )
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("100x.", out)
 
 
 class FleetGateTests(GateHarness):

@@ -8,6 +8,11 @@ const FIXTURE_MANIFEST: &str = r#"
 [counters]
 "fixture.ticks" = "ticks"
 "fixture.undeclared_elsewhere" = "red herring"
+"solver.ftran_nnz" = "FTRAN result nonzeros"
+"solver.btran_nnz" = "BTRAN result nonzeros"
+"solver.refactorizations" = "basis refactorizations"
+"solver.eta_updates" = "eta updates"
+"solver.steepest_resets" = "steepest-edge weight resets"
 
 [float_counters]
 "fixture.volume_gb" = "volume"
@@ -125,6 +130,36 @@ fn metric_name_positive() {
 #[test]
 fn metric_name_negative() {
     let findings = audit("metric_ok.rs", FileSpec::default());
+    assert_eq!(findings, [], "expected clean, got: {findings:#?}");
+}
+
+#[test]
+fn solver_counter_names_positive() {
+    let findings = audit("solver_metric_bad.rs", FileSpec::default());
+    assert_eq!(
+        lints(&findings),
+        ["metric-name", "metric-name", "metric-name"]
+    );
+    assert!(
+        findings[0].message.contains("solver.ftran_nzz"),
+        "typo'd counter is undeclared: {}",
+        findings[0]
+    );
+    assert!(
+        findings[1].message.contains("solver.eta_updates"),
+        "counter used as histogram: {}",
+        findings[1]
+    );
+    assert!(
+        findings[2].message.contains("solver.steepestResets"),
+        "non-dot.snake name: {}",
+        findings[2]
+    );
+}
+
+#[test]
+fn solver_counter_names_negative() {
+    let findings = audit("solver_metric_ok.rs", FileSpec::default());
     assert_eq!(findings, [], "expected clean, got: {findings:#?}");
 }
 

@@ -1,0 +1,9 @@
+//! Positive fixture: factorized-solver counter names gone wrong — a
+//! typo'd undeclared name, a declared counter used as a histogram, and
+//! a camel-cased variant that fails the dot.snake rule.
+
+pub fn flush(n: u64) {
+    vb_telemetry::counter!("solver.ftran_nzz").add(n);
+    vb_telemetry::histogram!("solver.eta_updates").record(n as f64);
+    vb_telemetry::counter!("solver.steepestResets").inc();
+}

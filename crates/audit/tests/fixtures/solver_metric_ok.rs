@@ -1,0 +1,10 @@
+//! Negative fixture: the factorized-solver counters added in the
+//! revised-simplex PR, used under their declared kind.
+
+pub fn flush(n: u64) {
+    vb_telemetry::counter!("solver.ftran_nnz").add(n);
+    vb_telemetry::counter!("solver.btran_nnz").add(n);
+    vb_telemetry::counter!("solver.refactorizations").inc();
+    vb_telemetry::counter!("solver.eta_updates").add(n);
+    vb_telemetry::counter!("solver.steepest_resets").inc();
+}

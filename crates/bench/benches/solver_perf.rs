@@ -10,8 +10,13 @@
 //! of the apps are pinned to their home site by singleton equality
 //! rows — the shape presolve dissolves — and runs each scale through
 //! the epoch path twice: once with [`KernelConfig::baseline`] (the
-//! pre-presolve/devex/parallel kernel) and once with
-//! [`KernelConfig::production`], asserting identical optima.
+//! pre-presolve/devex/parallel explicit-tableau kernel) and once with
+//! [`KernelConfig::production`] (factorized revised simplex +
+//! steepest-edge), asserting identical optima. Rows report the
+//! production kernel's refactorization and eta-update counts alongside
+//! pivots. Like the fleet bench, a 1000× fleet-shaped row is opt-in:
+//! `VB_SOLVER_SCALES=1x,10x,100x,1000x` (it solves a single epoch at
+//! that size to keep wall-clock sane).
 //!
 //! Both parts are written to `BENCH_solver.json` (override the path
 //! with `VB_BENCH_OUT`; empty string disables the file).
@@ -133,13 +138,18 @@ struct ScaleRow {
     baseline_pivots: u64,
     kernel_pivots: u64,
     presolve_vars_fixed: u64,
+    refactorizations: u64,
+    eta_updates: u64,
     max_objective_drift: f64,
 }
 
 fn run_scale(label: &str, mult: usize) -> ScaleRow {
     let apps = APPS * mult;
-    // Bigger instances need fewer epochs to dominate the measurement.
-    let epochs = if mult >= 100 {
+    // Bigger instances need fewer epochs to dominate the measurement;
+    // the opt-in 1000x row gets a single epoch.
+    let epochs = if mult >= 1000 {
+        1
+    } else if mult >= 100 {
         2
     } else if mult >= 10 {
         4
@@ -164,8 +174,12 @@ fn run_scale(label: &str, mult: usize) -> ScaleRow {
     };
     let (baseline_secs, baseline_pivots, base_obj) = run_kernel(&KernelConfig::baseline());
     let fixed0 = counter_now("solver.presolve_vars_fixed");
+    let refac0 = counter_now("solver.refactorizations");
+    let eta0 = counter_now("solver.eta_updates");
     let (kernel_secs, kernel_pivots, kern_obj) = run_kernel(&KernelConfig::production());
     let presolve_vars_fixed = counter_now("solver.presolve_vars_fixed") - fixed0;
+    let refactorizations = counter_now("solver.refactorizations") - refac0;
+    let eta_updates = counter_now("solver.eta_updates") - eta0;
     let max_objective_drift = base_obj
         .iter()
         .zip(&kern_obj)
@@ -191,6 +205,8 @@ fn run_scale(label: &str, mult: usize) -> ScaleRow {
         baseline_pivots,
         kernel_pivots,
         presolve_vars_fixed,
+        refactorizations,
+        eta_updates,
         max_objective_drift,
     }
 }
@@ -300,7 +316,8 @@ fn main() {
         println!(
             "  {}: {} apps ({} vars x {} rows) x {} epochs: \
              baseline {:.4}s/{} pivots, kernel {:.4}s/{} pivots, \
-             speedup {:.2}x, {} vars presolved away, drift {:.1e}",
+             speedup {:.2}x, {} vars presolved away, \
+             {} refactorizations, {} eta updates, drift {:.1e}",
             row.label,
             row.apps,
             row.vars,
@@ -312,6 +329,8 @@ fn main() {
             row.kernel_pivots,
             row.speedup,
             row.presolve_vars_fixed,
+            row.refactorizations,
+            row.eta_updates,
             row.max_objective_drift,
         );
         scale_rows.push(row);
@@ -321,7 +340,7 @@ fn main() {
         .iter()
         .map(|r| {
             format!(
-                "    {{\n      \"scale\": \"{}\",\n      \"apps\": {},\n      \"vars\": {},\n      \"rows\": {},\n      \"epochs\": {},\n      \"baseline_secs\": {:.6},\n      \"kernel_secs\": {:.6},\n      \"speedup\": {:.4},\n      \"baseline_pivots\": {},\n      \"kernel_pivots\": {},\n      \"presolve_vars_fixed\": {},\n      \"max_objective_drift\": {:.3e}\n    }}",
+                "    {{\n      \"scale\": \"{}\",\n      \"apps\": {},\n      \"vars\": {},\n      \"rows\": {},\n      \"epochs\": {},\n      \"baseline_secs\": {:.6},\n      \"kernel_secs\": {:.6},\n      \"speedup\": {:.4},\n      \"baseline_pivots\": {},\n      \"kernel_pivots\": {},\n      \"presolve_vars_fixed\": {},\n      \"refactorizations\": {},\n      \"eta_updates\": {},\n      \"max_objective_drift\": {:.3e}\n    }}",
                 r.label,
                 r.apps,
                 r.vars,
@@ -333,6 +352,8 @@ fn main() {
                 r.baseline_pivots,
                 r.kernel_pivots,
                 r.presolve_vars_fixed,
+                r.refactorizations,
+                r.eta_updates,
                 r.max_objective_drift,
             )
         })

@@ -28,9 +28,12 @@
 //!
 //! [`solve_mip_epoch`] runs the full production pipeline described by
 //! [`KernelConfig::production`]: the model is shrunk by
-//! [`crate::presolve`], relaxations price entering columns with devex
-//! ([`Pricing::Devex`]), and the search expands node *batches* in
-//! parallel through `vb-par`. Parallelism is deterministic by
+//! [`crate::presolve`], relaxations run on the factorized revised
+//! simplex ([`Engine::Factorized`], [`crate::revised`]) with exact
+//! steepest-edge pricing ([`Pricing::SteepestEdge`]), and the search
+//! expands node *batches* in parallel through `vb-par`. Each node
+//! carries its engine's state ([`LpState`]), so children warm-start on
+//! whichever engine solved the parent. Parallelism is deterministic by
 //! construction — see [`solve_mip_from_root`]: batch membership is
 //! chosen sequentially, per-node expansion is a pure function of the
 //! node, results are applied in batch index order, and heap ties break
@@ -42,6 +45,7 @@
 
 use crate::model::{Model, Sense, Solution, SolveError, VarId};
 use crate::presolve::{self, Presolved};
+use crate::revised::{self, RevisedState};
 use crate::simplex::{self, Pricing, SimplexState};
 use crate::skeleton::ModelSkeleton;
 use std::cmp::Ordering;
@@ -62,6 +66,20 @@ const MAX_NODES: usize = 200_000;
 /// `VB_THREADS` and parallelism changes wall-clock only.
 const PAR_BATCH: usize = 16;
 
+/// Which LP engine solves the relaxations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Explicit sparse tableau ([`crate::simplex`]): every pivot
+    /// rewrites the tableau rows. The PR 7/8 engine, kept as the
+    /// differential baseline.
+    #[default]
+    Tableau,
+    /// Revised simplex on a factorized LU basis ([`crate::revised`]):
+    /// per-pivot FTRAN/BTRAN solves plus eta-file updates with periodic
+    /// refactorization, instead of a tableau sweep.
+    Factorized,
+}
+
 /// Which kernel layers a MIP solve runs with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelConfig {
@@ -72,28 +90,85 @@ pub struct KernelConfig {
     pub pricing: Pricing,
     /// Expand branch & bound nodes in deterministic parallel batches.
     pub parallel: bool,
+    /// LP engine for every relaxation (cold solves pick it directly;
+    /// warm starts stay on the engine that produced the parent state).
+    pub engine: Engine,
 }
 
 impl KernelConfig {
-    /// The full production kernel: presolve + devex + parallel search.
-    /// What [`solve_mip_epoch`] (and through it `MipPolicy` and the
-    /// fleet path) runs.
+    /// The full production kernel: presolve + the factorized
+    /// revised-simplex engine with steepest-edge pricing + parallel
+    /// search. What [`solve_mip_epoch`] (and through it `MipPolicy` and
+    /// the fleet path) runs.
     pub fn production() -> KernelConfig {
         KernelConfig {
             presolve: true,
-            pricing: Pricing::Devex,
+            pricing: Pricing::SteepestEdge,
             parallel: true,
+            engine: Engine::Factorized,
         }
     }
 
     /// The PR 7 kernel, layer for layer: no presolve, cyclic Dantzig
-    /// pricing, serial best-first search. The differential baseline.
+    /// pricing on the explicit tableau, serial best-first search. The
+    /// differential baseline.
     pub fn baseline() -> KernelConfig {
         KernelConfig {
             presolve: false,
             pricing: Pricing::Dantzig,
             parallel: false,
+            engine: Engine::Tableau,
         }
+    }
+}
+
+/// A solved relaxation state from either engine. Branch & bound nodes
+/// and the epoch cache carry this, so one search (and one cache) works
+/// against both engines; warm starts dispatch on the variant.
+#[derive(Debug, Clone)]
+// Both variants boxed: nodes move `LpState` values around constantly,
+// and the engine states are hundreds of bytes of inline header.
+enum LpState {
+    Tableau(Box<SimplexState>),
+    Revised(Box<RevisedState>),
+}
+
+/// Solve a relaxation, warm-starting on the engine that produced
+/// `warm` when present, else cold on `engine`.
+fn lp_solve(
+    model: &Model,
+    overrides: &[(VarId, f64, f64)],
+    warm: Option<&LpState>,
+    pricing: Pricing,
+    engine: Engine,
+) -> Result<(Solution, LpState), SolveError> {
+    match warm {
+        Some(LpState::Tableau(st)) => {
+            simplex::solve_lp_state_priced(model, overrides, Some(st), pricing)
+                .map(|(s, st)| (s, LpState::Tableau(Box::new(st))))
+        }
+        Some(LpState::Revised(st)) => revised::solve_lp_state(model, overrides, Some(st), pricing)
+            .map(|(s, st)| (s, LpState::Revised(Box::new(st)))),
+        None => match engine {
+            Engine::Tableau => simplex::solve_lp_state_priced(model, overrides, None, pricing)
+                .map(|(s, st)| (s, LpState::Tableau(Box::new(st)))),
+            Engine::Factorized => revised::solve_lp_state(model, overrides, None, pricing)
+                .map(|(s, st)| (s, LpState::Revised(Box::new(st)))),
+        },
+    }
+}
+
+/// Cross-epoch warm solve on whichever engine produced `prev`.
+fn lp_epoch_warm(
+    model: &Model,
+    prev: &LpState,
+    pricing: Pricing,
+) -> Result<(Solution, LpState), SolveError> {
+    match prev {
+        LpState::Tableau(st) => simplex::solve_lp_epoch_warm_priced(model, st, pricing)
+            .map(|(s, st)| (s, LpState::Tableau(Box::new(st)))),
+        LpState::Revised(st) => revised::solve_lp_epoch_warm(model, st, pricing)
+            .map(|(s, st)| (s, LpState::Revised(Box::new(st)))),
     }
 }
 
@@ -126,14 +201,36 @@ pub fn solve_mip_bounded_with(
     let _span = vb_telemetry::span!("solver.mip_solve");
     vb_telemetry::counter!("solver.mip_solves").inc();
     // Root relaxation is always a cold solve.
-    let root = simplex::solve_lp_state(model, &[], None)?;
-    solve_mip_from_root(
-        model,
-        max_nodes,
-        warm_start,
-        root,
-        &KernelConfig::baseline(),
-    )
+    let kernel = KernelConfig::baseline();
+    let root = lp_solve(model, &[], None, kernel.pricing, kernel.engine)?;
+    solve_mip_from_root(model, max_nodes, warm_start, root, &kernel)
+}
+
+/// [`solve_mip_bounded_with`] with an explicit [`Pricing`] rule, run on
+/// the engine that owns that rule in production ([`Engine::Factorized`]
+/// for steepest-edge, the tableau otherwise) — lets pivot-accounting
+/// tests exercise each pricing variant end to end through branch &
+/// bound without configuring a full kernel.
+pub fn solve_mip_bounded_priced(
+    model: &Model,
+    max_nodes: usize,
+    warm_start: bool,
+    pricing: Pricing,
+) -> Result<Solution, SolveError> {
+    let _span = vb_telemetry::span!("solver.mip_solve");
+    vb_telemetry::counter!("solver.mip_solves").inc();
+    let engine = match pricing {
+        Pricing::SteepestEdge => Engine::Factorized,
+        _ => Engine::Tableau,
+    };
+    let kernel = KernelConfig {
+        presolve: false,
+        pricing,
+        parallel: false,
+        engine,
+    };
+    let root = lp_solve(model, &[], None, pricing, engine)?;
+    solve_mip_from_root(model, max_nodes, warm_start, root, &kernel)
 }
 
 /// Solve with an explicit [`KernelConfig`]: presolve the model (when
@@ -155,7 +252,7 @@ pub fn solve_mip_kernel(
         .then(|| presolve::presolve_mip(model))
         .transpose()?;
     let target = pre.as_ref().map_or(model, Presolved::reduced);
-    let root = simplex::solve_lp_state_priced(target, &[], None, kernel.pricing)?;
+    let root = lp_solve(target, &[], None, kernel.pricing, kernel.engine)?;
     let sol = solve_mip_from_root(target, max_nodes, true, root, kernel)?;
     Ok(match &pre {
         Some(p) => p.postsolve(model, &sol),
@@ -169,7 +266,7 @@ pub fn solve_mip_kernel(
 #[derive(Debug, Clone)]
 pub struct EpochCache {
     skeleton: ModelSkeleton,
-    root_state: SimplexState,
+    root_state: LpState,
 }
 
 impl EpochCache {
@@ -229,9 +326,9 @@ pub fn solve_mip_epoch_with(
     // bounds moved), an epoch swapped in new RHS values, and a frozen
     // redundant row can make the repair fail on a feasible model. Any
     // warm failure just means a cold root.
-    let warm_root = cache.filter(|c| c.skeleton.matches(target)).and_then(|c| {
-        simplex::solve_lp_epoch_warm_priced(target, &c.root_state, kernel.pricing).ok()
-    });
+    let warm_root = cache
+        .filter(|c| c.skeleton.matches(target))
+        .and_then(|c| lp_epoch_warm(target, &c.root_state, kernel.pricing).ok());
     let hit = warm_root.is_some();
     if hit {
         vb_telemetry::counter!("solver.epoch_warm_hits").inc();
@@ -240,7 +337,7 @@ pub fn solve_mip_epoch_with(
     }
     let root = match warm_root {
         Some(r) => r,
-        None => simplex::solve_lp_state_priced(target, &[], None, kernel.pricing)?,
+        None => lp_solve(target, &[], None, kernel.pricing, kernel.engine)?,
     };
     let next = EpochCache {
         skeleton: ModelSkeleton::of(target),
@@ -288,7 +385,7 @@ fn solve_mip_from_root(
     model: &Model,
     max_nodes: usize,
     warm_start: bool,
-    root: (Solution, SimplexState),
+    root: (Solution, LpState),
     kernel: &KernelConfig,
 ) -> Result<Solution, SolveError> {
     let int_vars: Vec<VarId> = model
@@ -331,6 +428,7 @@ fn solve_mip_from_root(
             &root_state,
             warm_start,
             kernel.pricing,
+            kernel.engine,
         )
     } else {
         None
@@ -373,12 +471,28 @@ fn solve_mip_from_root(
             par_batches += 1;
             par_nodes += batch.len() as u64;
             vb_par::par_map(batch.len(), |i| {
-                expand(model, &int_vars, &batch[i], warm_start, kernel.pricing)
+                expand(
+                    model,
+                    &int_vars,
+                    &batch[i],
+                    warm_start,
+                    kernel.pricing,
+                    kernel.engine,
+                )
             })
         } else {
             batch
                 .iter()
-                .map(|n| expand(model, &int_vars, n, warm_start, kernel.pricing))
+                .map(|n| {
+                    expand(
+                        model,
+                        &int_vars,
+                        n,
+                        warm_start,
+                        kernel.pricing,
+                        kernel.engine,
+                    )
+                })
                 .collect()
         };
 
@@ -445,7 +559,7 @@ enum Expansion {
 struct Child {
     overrides: Vec<(VarId, f64, f64)>,
     relaxed: Solution,
-    state: Arc<SimplexState>,
+    state: Arc<LpState>,
 }
 
 /// Expand one node: branch on its most fractional integer variable and
@@ -459,6 +573,7 @@ fn expand(
     node: &Node,
     warm_start: bool,
     pricing: Pricing,
+    engine: Engine,
 ) -> Expansion {
     let Some((var, value)) = most_fractional(&node.relaxed, int_vars) else {
         // Integral: candidate incumbent (round off the epsilon).
@@ -477,9 +592,7 @@ fn expand(
         overrides.retain(|&(v, _, _)| v != var);
         overrides.push((var, new_lb, new_ub));
         let parent = warm_start.then(|| &*node.state);
-        if let Ok((relaxed, state)) =
-            simplex::solve_lp_state_priced(model, &overrides, parent, pricing)
-        {
+        if let Ok((relaxed, state)) = lp_solve(model, &overrides, parent, pricing, engine) {
             children.push(Child {
                 overrides,
                 relaxed,
@@ -495,13 +608,15 @@ fn expand(
 /// infeasibility) until the relaxation is integral. Returns the rounded
 /// solution when the dive survives to the bottom. Each fix warm-starts
 /// from the previous level's basis.
+#[allow(clippy::too_many_arguments)]
 fn dive(
     model: &Model,
     int_vars: &[VarId],
     mut relaxed: Solution,
-    root_state: &SimplexState,
+    root_state: &LpState,
     warm_start: bool,
     pricing: Pricing,
+    engine: Engine,
 ) -> Option<Solution> {
     let mut overrides: Vec<(VarId, f64, f64)> = Vec::new();
     let mut state = root_state.clone();
@@ -523,7 +638,7 @@ fn dive(
             trial.retain(|&(v, _, _)| v != var);
             trial.push((var, candidate, candidate));
             let parent = warm_start.then_some(&state);
-            if let Ok((sol, st)) = simplex::solve_lp_state_priced(model, &trial, parent, pricing) {
+            if let Ok((sol, st)) = lp_solve(model, &trial, parent, pricing, engine) {
                 overrides = trial;
                 relaxed = sol;
                 state = st;
@@ -596,7 +711,7 @@ struct Node {
     seq: u64,
     overrides: Vec<(VarId, f64, f64)>,
     relaxed: Solution,
-    state: Arc<SimplexState>,
+    state: Arc<LpState>,
 }
 
 impl PartialEq for Node {

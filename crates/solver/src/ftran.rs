@@ -1,0 +1,145 @@
+//! FTRAN/BTRAN through an LU factorization plus a product-form eta file.
+//!
+//! After a basis change (column `q` replaces the basic variable of slot
+//! `r`), the new basis is `B' = B·E` where `E` is the identity with its
+//! `r`-th column replaced by the FTRAN'd entering column `d̂ = B⁻¹a_q`.
+//! Rather than refactorize per pivot, [`BasisFactor`] appends `E` to an
+//! **eta file** and composes it into every solve:
+//!
+//! * FTRAN `B'⁻¹b`: solve through the LU factors, then apply each eta
+//!   in order — `x_r ← x_r / d̂_r`, `x_i ← x_i − d̂_i·x_r`.
+//! * BTRAN `B'⁻ᵀc`: apply the transposed etas in *reverse* order —
+//!   `y_r ← (y_r − Σ_{i≠r} d̂_i·y_i) / d̂_r` — then solve through the
+//!   LU factors.
+//!
+//! The file is truncated by [`crate::revised`]'s refactorization policy
+//! (update count or a stability trigger); each eta costs `O(nnz(d̂))`
+//! per solve, so a bounded file keeps solves near the factors' cost.
+
+use crate::factor::LuFactors;
+use crate::simplex::DROP_EPS;
+
+/// One product-form update: slot `r` was repivoted on column `d̂` with
+/// pivot `d̂_r`; `(rows, vals)` hold the off-pivot nonzeros of `d̂`.
+#[derive(Debug, Clone)]
+struct Eta {
+    r: u32,
+    pivot: f64,
+    rows: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+/// An LU factorization composed with the eta file accumulated since the
+/// last refactorization. Owns the scratch the triangular solves need,
+/// so solves are allocation-free.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BasisFactor {
+    lu: LuFactors,
+    etas: Vec<Eta>,
+    work: Vec<f64>,
+}
+
+impl BasisFactor {
+    /// Wrap a fresh factorization (empty eta file).
+    pub(crate) fn new(lu: LuFactors, m: usize) -> BasisFactor {
+        BasisFactor {
+            lu,
+            etas: Vec::new(),
+            work: vec![0.0; m],
+        }
+    }
+
+    /// Updates applied since the last refactorization.
+    pub(crate) fn eta_count(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// Record the pivot `(slot r, entering column d̂ = B⁻¹a_q)`.
+    pub(crate) fn push_eta(&mut self, r: usize, ecol: &[f64]) {
+        let mut rows = Vec::new();
+        let mut vals = Vec::new();
+        for (i, &v) in ecol.iter().enumerate() {
+            if i != r && v.abs() > DROP_EPS {
+                rows.push(i as u32);
+                vals.push(v);
+            }
+        }
+        self.etas.push(Eta {
+            r: r as u32,
+            pivot: ecol[r],
+            rows,
+            vals,
+        });
+    }
+
+    /// Solve `B·x = b` in place (`x`: constraint-row indexed in, basis
+    /// slot indexed out). Returns the result's nonzero count.
+    pub(crate) fn ftran(&mut self, x: &mut [f64]) -> u64 {
+        self.lu.ftran(x, &mut self.work);
+        for eta in &self.etas {
+            let r = eta.r as usize;
+            let t = x[r] / eta.pivot;
+            x[r] = t;
+            if t != 0.0 {
+                for (&i, &v) in eta.rows.iter().zip(&eta.vals) {
+                    x[i as usize] -= v * t;
+                }
+            }
+        }
+        nnz_of(x)
+    }
+
+    /// Solve `Bᵀ·y = c` in place (`x`: basis slot indexed in,
+    /// constraint-row indexed out). Returns the result's nonzero count.
+    pub(crate) fn btran(&mut self, x: &mut [f64]) -> u64 {
+        for eta in self.etas.iter().rev() {
+            let r = eta.r as usize;
+            let mut t = x[r];
+            for (&i, &v) in eta.rows.iter().zip(&eta.vals) {
+                t -= v * x[i as usize];
+            }
+            x[r] = t / eta.pivot;
+        }
+        self.lu.btran(x, &mut self.work);
+        nnz_of(x)
+    }
+}
+
+fn nnz_of(x: &[f64]) -> u64 {
+    x.iter().filter(|v| v.abs() > DROP_EPS).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// B = I (2×2), then pivot slot 0 on a column d̂ = (2, 1)ᵀ: the new
+    /// basis is B' = [[2, 0], [1, 1]].
+    fn updated_basis() -> BasisFactor {
+        let cols = vec![vec![(0u32, 1.0)], vec![(1u32, 1.0)]];
+        let lu = LuFactors::factorize(2, &cols).unwrap();
+        let mut bf = BasisFactor::new(lu, 2);
+        bf.push_eta(0, &[2.0, 1.0]);
+        bf
+    }
+
+    #[test]
+    fn eta_ftran_matches_direct_solve() {
+        let mut bf = updated_basis();
+        // Solve B'x = (4, 5)ᵀ → x = (2, 3)ᵀ.
+        let mut x = [4.0, 5.0];
+        let nnz = bf.ftran(&mut x);
+        assert_eq!(nnz, 2);
+        assert!((x[0] - 2.0).abs() < 1e-12 && (x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eta_btran_matches_direct_solve() {
+        let mut bf = updated_basis();
+        // Solve B'ᵀy = (7, 3)ᵀ; B'ᵀ = [[2, 1], [0, 1]] → y = (2, 3)ᵀ.
+        let mut y = [7.0, 3.0];
+        let nnz = bf.btran(&mut y);
+        assert_eq!(nnz, 2);
+        assert!((y[0] - 2.0).abs() < 1e-12 && (y[1] - 3.0).abs() < 1e-12);
+    }
+}

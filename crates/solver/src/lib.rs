@@ -16,6 +16,11 @@
 //!   nonzeros only and pivots touch only nonzero columns), with
 //!   candidate-list partial pricing, a dual-simplex warm-start path,
 //!   and a Bland-rule fallback for anti-cycling.
+//! * [`revised`] — the factorized production engine: the same simplex
+//!   on a sparse Markowitz-ordered LU basis with eta-file updates and
+//!   periodic refactorization instead of an explicit tableau, making
+//!   exact steepest-edge pricing ([`Pricing::SteepestEdge`])
+//!   affordable. Selected per kernel via [`branch::Engine`].
 //! * [`branch`] — best-first branch & bound on fractional integer
 //!   variables, giving exact MIP optima; child nodes warm-start from
 //!   their parent's optimal basis, and [`branch::solve_mip_epoch`]
@@ -54,13 +59,16 @@
 
 pub mod branch;
 pub mod dense;
+pub(crate) mod factor;
+pub(crate) mod ftran;
 pub mod model;
 pub mod presolve;
+pub mod revised;
 pub mod simplex;
 pub mod skeleton;
 
 pub use branch::{
-    solve_mip_epoch, solve_mip_epoch_with, solve_mip_kernel, EpochCache, KernelConfig,
+    solve_mip_epoch, solve_mip_epoch_with, solve_mip_kernel, Engine, EpochCache, KernelConfig,
 };
 pub use model::{Cmp, LinExpr, Model, Sense, Solution, SolveError, VarId};
 pub use presolve::{PresolveStats, Presolved};

@@ -1,0 +1,1574 @@
+//! Revised simplex on a factorized LU basis — the production LP engine.
+//!
+//! The explicit-tableau engine ([`crate::simplex`]) pays for every pivot
+//! by rewriting all tableau rows (a sparse Gauss–Jordan sweep); on the
+//! fleet-shaped 100×+ models the rows densify and that sweep dominates
+//! the solve. This engine keeps the basis as a sparse LU factorization
+//! ([`crate::factor`]) plus a product-form eta file ([`crate::ftran`])
+//! instead, and reconstructs per-iteration data on demand:
+//!
+//! * the entering column `d̂ = B⁻¹a_q` by one **FTRAN**,
+//! * the pricing row `α = eᵣᵀB⁻¹A` by one **BTRAN** plus a sweep of the
+//!   constraint rows, and
+//! * reduced costs by the classic `d = c − (B⁻ᵀc_B)ᵀA` only when a
+//!   solve starts; between pivots `d` is updated from the pricing row.
+//!
+//! Each pivot appends one eta. The factorization is rebuilt — and the
+//! basic values recomputed from the model data, shedding accumulated
+//! drift — when the eta file reaches [`Params::refactor_after`] updates
+//! or when a **stability trigger** fires: the pivot element reached via
+//! FTRAN and via BTRAN must agree to [`STAB_EPS`], otherwise the factors
+//! have degraded and the iteration is retried on fresh ones.
+//!
+//! Because reduced costs and norms are exact per-iteration quantities
+//! here, **steepest-edge pricing** ([`Pricing::SteepestEdge`]) becomes
+//! affordable: the exact reference weights `γ_j = 1 + ‖B⁻¹a_j‖²` are
+//! maintained by the Forrest–Goldfarb recurrence (one extra BTRAN per
+//! pivot), with a reset to the unit framework whenever the maintained
+//! entering weight drifts a factor [`SE_DRIFT`] from its exact value.
+//! Devex and Dantzig remain available and share the Bland anti-cycling
+//! fallback.
+//!
+//! The state mirrors [`crate::simplex::SimplexState`]'s warm-start
+//! surface — bound overrides with dual-simplex repair, and cross-epoch
+//! RHS/bound retargeting — so branch & bound and the epoch cache use
+//! either engine interchangeably. Column layout, tolerances, tie-break
+//! rules, and the two-phase construction are identical to the tableau
+//! engine; in exact arithmetic the two produce the same pivots, and both
+//! are deterministic functions of the model.
+
+use crate::factor::LuFactors;
+use crate::ftran::BasisFactor;
+use crate::model::{Cmp, Model, Sense, Solution, SolveError, VarId};
+use crate::simplex::{Pricing, BLAND_AFTER, COST_EPS, DEVEX_RESET, DROP_EPS, EPS, FEAS_EPS};
+use std::sync::Arc;
+
+/// FTRAN-vs-BTRAN pivot agreement tolerance (relative): worse than this
+/// means the factors + eta file have degraded and trigger an immediate
+/// refactorization.
+const STAB_EPS: f64 = 1e-7;
+/// Steepest-edge framework reset: when the maintained weight of the
+/// entering column differs from its exact norm `1 + ‖B⁻¹a_q‖²` by more
+/// than this factor either way, all weights restart at 1.
+const SE_DRIFT: f64 = 4.0;
+/// Eta updates between scheduled refactorizations. A Markowitz
+/// refactorization at fleet scale costs two orders of magnitude more
+/// than replaying one eta, so the interval is long; the stability
+/// trigger still forces an early rebuild the moment the factors
+/// actually degrade.
+const REFACTOR_AFTER: usize = 128;
+
+/// Engine tuning knobs. The defaults are the production policy; tests
+/// shrink them to force refactorizations and the Bland fallback onto
+/// small instances.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Refactorize after this many eta updates.
+    pub refactor_after: usize,
+    /// Iterations before primal pricing falls back to Bland's rule.
+    pub bland_after: usize,
+}
+
+impl Default for Params {
+    fn default() -> Params {
+        Params {
+            refactor_after: REFACTOR_AFTER,
+            bland_after: BLAND_AFTER,
+        }
+    }
+}
+
+/// Constraint matrix in both row- and column-major sparse form, shared
+/// (via `Arc`) by every state cloned off one solve — branch & bound
+/// clones states per node, and the matrix never changes.
+#[derive(Debug)]
+struct Mat {
+    row_starts: Vec<u32>,
+    row_cols: Vec<u32>,
+    row_vals: Vec<f64>,
+    col_starts: Vec<u32>,
+    col_rows: Vec<u32>,
+    col_vals: Vec<f64>,
+}
+
+/// A phase-1 artificial: the unit column `sign·e_row`.
+#[derive(Debug, Clone, Copy)]
+struct ArtCol {
+    row: u32,
+    sign: f64,
+}
+
+/// Dense pricing row plus its support list. `α` stays dense for O(1)
+/// reads; the support records every column the sweep touched, so the
+/// per-pivot consumers (reduced-cost update, steepest-edge cross terms,
+/// devex weights) iterate the nonzeros instead of every column. An
+/// epoch-marked scratch deduplicates the support without a clearing
+/// pass.
+struct PriceRow {
+    alpha: Vec<f64>,
+    support: Vec<u32>,
+    mark: Vec<u32>,
+    epoch: u32,
+}
+
+impl PriceRow {
+    fn new(cols: usize) -> PriceRow {
+        PriceRow {
+            alpha: vec![0.0; cols],
+            support: Vec::new(),
+            mark: vec![0; cols],
+            epoch: 0,
+        }
+    }
+
+    /// Zero the previous row (via its support) and start a new one.
+    fn clear(&mut self) {
+        for &j in &self.support {
+            self.alpha[j as usize] = 0.0;
+        }
+        self.support.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.mark.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, j: usize, v: f64) {
+        if self.mark[j] != self.epoch {
+            self.mark[j] = self.epoch;
+            self.support.push(j as u32);
+        }
+        self.alpha[j] += v;
+    }
+}
+
+/// Per-solve counters, flushed to `vb-telemetry` at loop and solve
+/// boundaries (so a warm attempt that falls back still reports).
+#[derive(Debug, Clone, Copy, Default)]
+struct Stats {
+    pivots: u64,
+    dual_pivots: u64,
+    flips: u64,
+    degenerate: u64,
+    scanned: u64,
+    devex_pivots: u64,
+    devex_resets: u64,
+    ftran_nnz: u64,
+    btran_nnz: u64,
+    refactorizations: u64,
+    eta_updates: u64,
+    steepest_resets: u64,
+}
+
+/// Outcome of the primal ratio test (mirrors the tableau engine's).
+enum Step {
+    Flip,
+    Pivot {
+        row: usize,
+        target: f64,
+        leave_at_upper: bool,
+    },
+    Unbounded,
+}
+
+/// Revised-simplex state: basis, factorization, and bounds — the
+/// factorized counterpart of [`crate::simplex::SimplexState`], reusable
+/// as a warm-start basis under changed bounds or (structurally
+/// identical) changed models.
+#[derive(Debug, Clone)]
+pub struct RevisedState {
+    mat: Arc<Mat>,
+    arts: Arc<Vec<ArtCol>>,
+    /// Per-column bounds and bound side, laid out
+    /// `[structural | logical | artificial]` like the tableau engine.
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    at_upper: Vec<bool>,
+    /// Basic column per row / row per column (`usize::MAX` = nonbasic).
+    basis: Vec<usize>,
+    basis_pos: Vec<usize>,
+    /// Current value of each row's basic variable.
+    xb: Vec<f64>,
+    /// Model right-hand side the state was last retargeted against.
+    rhs_b: Vec<f64>,
+    factor: BasisFactor,
+    n: usize,
+    m: usize,
+    cols: usize,
+    art_start: usize,
+    params: Params,
+    stats: Stats,
+}
+
+/// Solve a model's LP relaxation on the factorized engine and return the
+/// optimal state alongside the solution. Semantics match
+/// [`crate::simplex::solve_lp_state_priced`]: `bound_overrides` impose
+/// branching bounds, and `warm` (a previous state of the *same* model)
+/// starts from that basis with a dual-simplex repair, falling back to a
+/// cold solve on numerical trouble.
+pub fn solve_lp_state(
+    model: &Model,
+    bound_overrides: &[(VarId, f64, f64)],
+    warm: Option<&RevisedState>,
+    pricing: Pricing,
+) -> Result<(Solution, RevisedState), SolveError> {
+    solve_lp_state_params(model, bound_overrides, warm, pricing, Params::default())
+}
+
+/// [`solve_lp_state`] with explicit engine [`Params`] (test hook: small
+/// `refactor_after`/`bland_after` force the update and fallback paths
+/// onto small instances).
+#[doc(hidden)]
+pub fn solve_lp_state_params(
+    model: &Model,
+    bound_overrides: &[(VarId, f64, f64)],
+    warm: Option<&RevisedState>,
+    pricing: Pricing,
+    params: Params,
+) -> Result<(Solution, RevisedState), SolveError> {
+    let _span = vb_telemetry::span!("solver.lp_solve");
+    vb_telemetry::counter!("solver.lp_solves").inc();
+
+    let n = model.vars.len();
+    let mut lb: Vec<f64> = model.vars.iter().map(|v| v.lb).collect();
+    let mut ub: Vec<f64> = model.vars.iter().map(|v| v.ub).collect();
+    for &(v, l, u) in bound_overrides {
+        lb[v.0] = l;
+        ub[v.0] = u;
+    }
+    for j in 0..n {
+        if lb[j] > ub[j] + EPS {
+            return Err(SolveError::Infeasible);
+        }
+        if !lb[j].is_finite() {
+            return Err(SolveError::BadModel(format!(
+                "variable {} must have a finite lower bound",
+                model.vars[j].name
+            )));
+        }
+    }
+
+    if let Some(parent) = warm {
+        if parent.n == n && parent.m == model.constraints.len() {
+            match warm_solve(model, &lb, &ub, parent, pricing) {
+                Ok(done) => {
+                    vb_telemetry::counter!("solver.warm_start_hits").inc();
+                    return Ok(done);
+                }
+                // A proven-infeasible child is a successful warm start.
+                Err(SolveError::Infeasible) => {
+                    vb_telemetry::counter!("solver.warm_start_hits").inc();
+                    return Err(SolveError::Infeasible);
+                }
+                // Numerical trouble: re-solve from scratch.
+                Err(_) => vb_telemetry::counter!("solver.warm_start_misses").inc(),
+            }
+        } else {
+            vb_telemetry::counter!("solver.warm_start_misses").inc();
+        }
+    }
+
+    cold_solve(model, lb, ub, pricing, params)
+}
+
+/// Re-solve a *structurally identical* model from a previous epoch's
+/// optimal factorized state — same contract as
+/// [`crate::simplex::solve_lp_epoch_warm_priced`]: the caller gates
+/// structure with [`crate::skeleton::ModelSkeleton`], the RHS delta is
+/// retargeted through one FTRAN, bounds re-applied, and the basis
+/// repaired dual-simplex-first. `Err(Infeasible)` is not a certificate.
+pub fn solve_lp_epoch_warm(
+    model: &Model,
+    prev: &RevisedState,
+    pricing: Pricing,
+) -> Result<(Solution, RevisedState), SolveError> {
+    let _span = vb_telemetry::span!("solver.lp_solve");
+    vb_telemetry::counter!("solver.lp_solves").inc();
+
+    let n = model.vars.len();
+    if prev.n != n || prev.m != model.constraints.len() {
+        return Err(SolveError::BadModel(
+            "epoch warm start requires identical model dimensions".into(),
+        ));
+    }
+    let lb: Vec<f64> = model.vars.iter().map(|v| v.lb).collect();
+    let ub: Vec<f64> = model.vars.iter().map(|v| v.ub).collect();
+    for j in 0..n {
+        if lb[j] > ub[j] + EPS {
+            return Err(SolveError::Infeasible);
+        }
+        if !lb[j].is_finite() {
+            return Err(SolveError::BadModel(format!(
+                "variable {} must have a finite lower bound",
+                model.vars[j].name
+            )));
+        }
+    }
+
+    let mut st = prev.clone();
+    st.apply_rhs(model);
+    st.apply_bounds(&lb, &ub)?;
+    let c2 = st.phase2_costs(model);
+    let mut d = st.reduced_costs(&c2);
+    st.dual_iterate(&mut d, st.art_start)?;
+    st.iterate_with(&mut d, st.art_start, pricing)?;
+    let sol = st.extract(model);
+    st.flush_stats();
+    Ok((sol, st))
+}
+
+/// Full two-phase solve from the logical basis.
+fn cold_solve(
+    model: &Model,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    pricing: Pricing,
+    params: Params,
+) -> Result<(Solution, RevisedState), SolveError> {
+    let mut st = RevisedState::build(model, lb, ub, params)?;
+
+    // Phase 1: minimise the sum of artificials.
+    if st.art_start < st.cols {
+        let mut c1 = vec![0.0; st.cols];
+        for c in c1.iter_mut().skip(st.art_start) {
+            *c = 1.0;
+        }
+        let mut d = st.reduced_costs(&c1);
+        st.iterate_with(&mut d, st.cols, pricing)?; // artificials may pivot in phase 1
+        let infeas: f64 = (0..st.m)
+            .filter(|&i| st.basis[i] >= st.art_start)
+            .map(|i| st.xb[i])
+            .sum();
+        if infeas > FEAS_EPS {
+            return Err(SolveError::Infeasible);
+        }
+        st.expel_and_freeze_artificials(&mut d)?;
+    }
+
+    // Phase 2: the real objective, artificials barred from entering.
+    let c2 = st.phase2_costs(model);
+    let mut d = st.reduced_costs(&c2);
+    st.iterate_with(&mut d, st.art_start, pricing)?;
+
+    let sol = st.extract(model);
+    st.flush_stats();
+    Ok((sol, st))
+}
+
+/// Re-optimise `parent` under new structural bounds: dual-simplex repair
+/// followed by a primal clean-up pass.
+fn warm_solve(
+    model: &Model,
+    lb: &[f64],
+    ub: &[f64],
+    parent: &RevisedState,
+    pricing: Pricing,
+) -> Result<(Solution, RevisedState), SolveError> {
+    let mut st = parent.clone();
+    st.apply_bounds(lb, ub)?;
+    let c2 = st.phase2_costs(model);
+    let mut d = st.reduced_costs(&c2);
+    st.dual_iterate(&mut d, st.art_start)?;
+    st.iterate_with(&mut d, st.art_start, pricing)?;
+    let sol = st.extract(model);
+    st.flush_stats();
+    Ok((sol, st))
+}
+
+impl RevisedState {
+    /// Build the initial state: logicals basic where the residual fits
+    /// their interval, artificials elsewhere — the same starting basis
+    /// as the tableau engine (whose sign-flip normalisation is replaced
+    /// here by signed artificial columns `σ·e_i`; the implied tableau is
+    /// identical either way).
+    fn build(
+        model: &Model,
+        mut lb: Vec<f64>,
+        mut ub: Vec<f64>,
+        params: Params,
+    ) -> Result<RevisedState, SolveError> {
+        let n = model.vars.len();
+        let m = model.constraints.len();
+
+        let mut nnz = 0usize;
+        let mut resid = Vec::with_capacity(m);
+        for c in &model.constraints {
+            nnz += c.coefs.len();
+            let dot: f64 = c.coefs.iter().map(|&(v, a)| a * lb[v.0]).sum();
+            resid.push(c.rhs - dot);
+        }
+        vb_telemetry::histogram!("solver.nnz").observe(nnz as f64);
+        let needs_art: Vec<bool> = model
+            .constraints
+            .iter()
+            .zip(&resid)
+            .map(|(c, &r)| match c.cmp {
+                Cmp::Le => r < 0.0,
+                Cmp::Ge => r > 0.0,
+                Cmp::Eq => r.abs() > EPS,
+            })
+            .collect();
+        let n_art = needs_art.iter().filter(|&&x| x).count();
+        let art_start = n + m;
+        let cols = art_start + n_art;
+
+        // Row-major, then column-major (column entries arrive in row
+        // order, so both are sorted and fully deterministic).
+        let mut row_starts = Vec::with_capacity(m + 1);
+        row_starts.push(0u32);
+        let mut row_cols = Vec::with_capacity(nnz);
+        let mut row_vals = Vec::with_capacity(nnz);
+        for c in &model.constraints {
+            for &(v, a) in &c.coefs {
+                row_cols.push(v.0 as u32);
+                row_vals.push(a);
+            }
+            row_starts.push(row_cols.len() as u32);
+        }
+        let mut col_counts = vec![0u32; n + 1];
+        for &j in &row_cols {
+            col_counts[j as usize + 1] += 1;
+        }
+        for j in 0..n {
+            col_counts[j + 1] += col_counts[j];
+        }
+        let col_starts = col_counts.clone();
+        let mut col_rows = vec![0u32; nnz];
+        let mut col_vals = vec![0.0f64; nnz];
+        let mut cursor = col_counts;
+        for i in 0..m {
+            let (a, b) = (row_starts[i] as usize, row_starts[i + 1] as usize);
+            for e in a..b {
+                let j = row_cols[e] as usize;
+                let slot = cursor[j] as usize;
+                col_rows[slot] = i as u32;
+                col_vals[slot] = row_vals[e];
+                cursor[j] += 1;
+            }
+        }
+
+        // Logical bounds per constraint type, then artificials [0, ∞).
+        for c in &model.constraints {
+            match c.cmp {
+                Cmp::Le => {
+                    lb.push(0.0);
+                    ub.push(f64::INFINITY);
+                }
+                Cmp::Ge => {
+                    lb.push(f64::NEG_INFINITY);
+                    ub.push(0.0);
+                }
+                Cmp::Eq => {
+                    lb.push(0.0);
+                    ub.push(0.0);
+                }
+            }
+        }
+        lb.resize(cols, 0.0);
+        ub.resize(cols, f64::INFINITY);
+
+        let mut xb = vec![0.0; m];
+        let mut rhs_b = Vec::with_capacity(m);
+        let mut basis = vec![usize::MAX; m];
+        let mut at_upper = vec![false; cols];
+        let mut arts = Vec::with_capacity(n_art);
+        for (i, c) in model.constraints.iter().enumerate() {
+            rhs_b.push(c.rhs);
+            if needs_art[i] {
+                let sigma = if resid[i] >= 0.0 { 1.0 } else { -1.0 };
+                basis[i] = art_start + arts.len();
+                arts.push(ArtCol {
+                    row: i as u32,
+                    sign: sigma,
+                });
+                xb[i] = resid[i].abs();
+                // The row's own logical stays nonbasic at 0: that is the
+                // upper bound for `≥` logicals, the lower bound otherwise.
+                at_upper[n + i] = matches!(c.cmp, Cmp::Ge);
+            } else {
+                basis[i] = n + i;
+                xb[i] = resid[i];
+            }
+        }
+        let mut basis_pos = vec![usize::MAX; cols];
+        for (i, &b) in basis.iter().enumerate() {
+            basis_pos[b] = i;
+        }
+
+        let mut st = RevisedState {
+            mat: Arc::new(Mat {
+                row_starts,
+                row_cols,
+                row_vals,
+                col_starts,
+                col_rows,
+                col_vals,
+            }),
+            arts: Arc::new(arts),
+            lb,
+            ub,
+            at_upper,
+            basis,
+            basis_pos,
+            xb,
+            rhs_b,
+            factor: BasisFactor::default(),
+            n,
+            m,
+            cols,
+            art_start,
+            params,
+            stats: Stats::default(),
+        };
+        st.factorize_basis()?;
+        #[cfg(feature = "check-invariants")]
+        st.assert_invariants("build");
+        Ok(st)
+    }
+
+    /// Phase-2 cost vector: the objective over structurals, min sense.
+    fn phase2_costs(&self, model: &Model) -> Vec<f64> {
+        let sign = match model.sense {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        let mut c = vec![0.0; self.cols];
+        for &(v, coef) in &model.objective {
+            c[v.0] += sign * coef;
+        }
+        c
+    }
+
+    /// Reduced costs `d = c − yᵀA` with `y = B⁻ᵀc_B` (one BTRAN plus a
+    /// constraint-row sweep) — computed on demand at solve boundaries,
+    /// then maintained per pivot from the pricing row.
+    fn reduced_costs(&mut self, c: &[f64]) -> Vec<f64> {
+        let mut y: Vec<f64> = self.basis.iter().map(|&b| c[b]).collect();
+        let mut d = c.to_vec();
+        if y.iter().any(|&v| v != 0.0) {
+            self.stats.btran_nnz += self.factor.btran(&mut y);
+            for (i, &p) in y.iter().enumerate() {
+                if p.abs() <= DROP_EPS {
+                    continue;
+                }
+                let (a, b) = self.row_range(i);
+                for e in a..b {
+                    d[self.mat.row_cols[e] as usize] -= p * self.mat.row_vals[e];
+                }
+                d[self.n + i] -= p;
+            }
+            for (k, art) in self.arts.iter().enumerate() {
+                let p = y[art.row as usize];
+                if p != 0.0 {
+                    d[self.art_start + k] -= p * art.sign;
+                }
+            }
+        }
+        // Basic reduced costs are zero by definition; pin them so later
+        // pivot updates start exact.
+        for &b in &self.basis {
+            d[b] = 0.0;
+        }
+        d
+    }
+
+    fn row_range(&self, i: usize) -> (usize, usize) {
+        (
+            self.mat.row_starts[i] as usize,
+            self.mat.row_starts[i + 1] as usize,
+        )
+    }
+
+    /// Current value of a nonbasic column (the bound it sits at).
+    fn nonbasic_value(&self, j: usize) -> f64 {
+        if self.at_upper[j] {
+            self.ub[j]
+        } else {
+            self.lb[j]
+        }
+    }
+
+    /// Dense copy of original column `j` (structural, logical unit, or
+    /// signed artificial unit) into `out`.
+    fn load_column(&self, j: usize, out: &mut [f64]) {
+        out.fill(0.0);
+        if j < self.n {
+            let (a, b) = (
+                self.mat.col_starts[j] as usize,
+                self.mat.col_starts[j + 1] as usize,
+            );
+            for e in a..b {
+                out[self.mat.col_rows[e] as usize] = self.mat.col_vals[e];
+            }
+        } else if j < self.art_start {
+            out[j - self.n] = 1.0;
+        } else {
+            let art = self.arts[j - self.art_start];
+            out[art.row as usize] = art.sign;
+        }
+    }
+
+    /// `τᵀa_j` over column `j`'s nonzeros (structural sparse dot,
+    /// logical unit pick, signed artificial pick).
+    fn dot_column(&self, j: usize, t: &[f64]) -> f64 {
+        if j < self.n {
+            let (a, b) = (
+                self.mat.col_starts[j] as usize,
+                self.mat.col_starts[j + 1] as usize,
+            );
+            (a..b)
+                .map(|e| t[self.mat.col_rows[e] as usize] * self.mat.col_vals[e])
+                .sum()
+        } else if j < self.art_start {
+            t[j - self.n]
+        } else {
+            let art = self.arts[j - self.art_start];
+            t[art.row as usize] * art.sign
+        }
+    }
+
+    /// `r ← r − v·a_j` over column `j`'s nonzeros.
+    fn sub_column(&self, j: usize, v: f64, r: &mut [f64]) {
+        if j < self.n {
+            let (a, b) = (
+                self.mat.col_starts[j] as usize,
+                self.mat.col_starts[j + 1] as usize,
+            );
+            for e in a..b {
+                r[self.mat.col_rows[e] as usize] -= v * self.mat.col_vals[e];
+            }
+        } else if j < self.art_start {
+            r[j - self.n] -= v;
+        } else {
+            let art = self.arts[j - self.art_start];
+            r[art.row as usize] -= v * art.sign;
+        }
+    }
+
+    /// Pricing row `α = ρᵀA` over all columns (structural via the
+    /// constraint-row sweep, logical `α_{n+i} = ρ_i`, artificial
+    /// `σ_k·ρ_{row_k}`), recorded with its support so the per-pivot
+    /// consumers can skip the zero columns.
+    fn pricing_row(&self, rho: &[f64], pr: &mut PriceRow) {
+        pr.clear();
+        for (i, &p) in rho.iter().enumerate() {
+            if p.abs() <= DROP_EPS {
+                continue;
+            }
+            let (a, b) = self.row_range(i);
+            for e in a..b {
+                pr.add(self.mat.row_cols[e] as usize, p * self.mat.row_vals[e]);
+            }
+            pr.add(self.n + i, p);
+        }
+        for (k, art) in self.arts.iter().enumerate() {
+            let p = rho[art.row as usize];
+            if p != 0.0 {
+                pr.add(self.art_start + k, p * art.sign);
+            }
+        }
+    }
+
+    /// Factorize the current basis matrix from the model data.
+    fn factorize_basis(&mut self) -> Result<(), SolveError> {
+        let mut cols: Vec<Vec<(u32, f64)>> = Vec::with_capacity(self.m);
+        for &b in &self.basis {
+            if b < self.n {
+                let (a, e) = (
+                    self.mat.col_starts[b] as usize,
+                    self.mat.col_starts[b + 1] as usize,
+                );
+                cols.push(
+                    (a..e)
+                        .map(|k| (self.mat.col_rows[k], self.mat.col_vals[k]))
+                        .collect(),
+                );
+            } else if b < self.art_start {
+                cols.push(vec![((b - self.n) as u32, 1.0)]);
+            } else {
+                let art = self.arts[b - self.art_start];
+                cols.push(vec![(art.row, art.sign)]);
+            }
+        }
+        // A singular basis is numerical trouble, not infeasibility: use
+        // the iteration-limit channel so warm paths fall back to cold.
+        let lu = LuFactors::factorize(self.m, &cols).map_err(|_| SolveError::IterationLimit)?;
+        self.factor = BasisFactor::new(lu, self.m);
+        Ok(())
+    }
+
+    /// Rebuild the factorization and recompute the basic values fresh
+    /// from the model data (`x_B = B⁻¹(b − N·x_N)`), shedding the drift
+    /// the eta-file updates accumulated.
+    fn refactorize(&mut self) -> Result<(), SolveError> {
+        self.stats.refactorizations += 1;
+        self.factorize_basis()?;
+        let mut r = self.rhs_b.clone();
+        for j in 0..self.cols {
+            if self.basis_pos[j] == usize::MAX {
+                let v = self.nonbasic_value(j);
+                if v != 0.0 {
+                    self.sub_column(j, v, &mut r);
+                }
+            }
+        }
+        self.stats.ftran_nnz += self.factor.ftran(&mut r);
+        #[cfg(feature = "check-invariants")]
+        for (i, (&fresh, &held)) in r.iter().zip(&self.xb).enumerate() {
+            assert!(
+                (fresh - held).abs() <= 1e-4 * (1.0 + held.abs()),
+                "refactorization moved basic value {i}: maintained {held}, recomputed {fresh}"
+            );
+        }
+        self.xb.copy_from_slice(&r);
+        Ok(())
+    }
+
+    /// Retarget structural bounds (warm start): nonbasic structurals are
+    /// re-seated on a finite bound under the new interval and the basic
+    /// values shifted through one FTRAN of the accumulated column delta.
+    fn apply_bounds(&mut self, lb: &[f64], ub: &[f64]) -> Result<(), SolveError> {
+        let mut shift = vec![0.0; self.m];
+        let mut any = false;
+        for j in 0..self.n {
+            let (nl, nu) = (lb[j], ub[j]);
+            if self.basis_pos[j] == usize::MAX {
+                let old = self.nonbasic_value(j);
+                let (new, up) = if self.at_upper[j] {
+                    if nu.is_finite() {
+                        (nu, true)
+                    } else {
+                        (nl, false)
+                    }
+                } else if nl.is_finite() {
+                    (nl, false)
+                } else {
+                    (nu, true)
+                };
+                if !new.is_finite() {
+                    return Err(SolveError::BadModel(
+                        "warm start requires a finite bound per nonbasic variable".into(),
+                    ));
+                }
+                let delta = new - old;
+                if delta != 0.0 {
+                    // x_B −= B⁻¹a_j·Δ; batch the columns, solve once.
+                    self.sub_column(j, -delta, &mut shift);
+                    any = true;
+                }
+                self.at_upper[j] = up;
+            }
+            self.lb[j] = nl;
+            self.ub[j] = nu;
+        }
+        if any {
+            self.stats.ftran_nnz += self.factor.ftran(&mut shift);
+            for (x, &s) in self.xb.iter_mut().zip(&shift) {
+                *x -= s;
+            }
+        }
+        Ok(())
+    }
+
+    /// Retarget the basic values for a model-RHS change (epoch warm
+    /// start): `x_B += B⁻¹·Δb`, one FTRAN.
+    fn apply_rhs(&mut self, model: &Model) {
+        let mut delta = vec![0.0; self.m];
+        let mut any = false;
+        for (k, c) in model.constraints.iter().enumerate() {
+            let d = c.rhs - self.rhs_b[k];
+            if d != 0.0 {
+                delta[k] = d;
+                self.rhs_b[k] = c.rhs;
+                any = true;
+            }
+        }
+        if !any {
+            return;
+        }
+        self.stats.ftran_nnz += self.factor.ftran(&mut delta);
+        for (x, &s) in self.xb.iter_mut().zip(&delta) {
+            *x += s;
+        }
+    }
+
+    /// Primal bounded-variable simplex on reduced costs `d` until no
+    /// nonbasic column priced below `col_limit` can improve. Pricing
+    /// weights (devex or steepest-edge) live for exactly one call, as in
+    /// the tableau engine, so a solve stays a pure function of
+    /// `(model, bounds, basis)`.
+    fn iterate_with(
+        &mut self,
+        d: &mut [f64],
+        col_limit: usize,
+        pricing: Pricing,
+    ) -> Result<(), SolveError> {
+        let max_iter = 20_000 + 100 * (self.m + self.cols);
+        let weighted = !matches!(pricing, Pricing::Dantzig);
+        let mut weights = vec![1.0f64; self.cols];
+        let mut ecol = vec![0.0; self.m];
+        let mut rho = vec![0.0; self.m];
+        let mut pr = PriceRow::new(self.cols);
+        let mut tau = vec![0.0; self.m];
+        // Maintained violation array for the weighted rules: `viol[j]`
+        // is the entering violation of candidate `j` (−∞ for basic,
+        // fixed, or out-of-limit columns), refreshed from the pricing
+        // row's support after every pivot so the entering scan reads
+        // two arrays instead of six.
+        let mut viol = vec![f64::NEG_INFINITY; self.cols];
+        let mut active = 0u64;
+        if weighted {
+            for (j, slot) in viol.iter_mut().enumerate().take(col_limit) {
+                let v = self.entering_viol(j, d);
+                if v != f64::NEG_INFINITY {
+                    active += 1;
+                }
+                *slot = v;
+            }
+        }
+        // Set right after a stability refactorization so one bad pivot
+        // cannot refactorize in a loop.
+        let mut fresh = false;
+        let result = (|| {
+            for iter in 0..max_iter {
+                let bland = iter >= self.params.bland_after;
+                let enter = if weighted && !bland {
+                    self.choose_entering_weighted(&viol, active, &weights)
+                } else {
+                    self.choose_entering(d, col_limit, bland)
+                };
+                let Some(enter) = enter else {
+                    return Ok(());
+                };
+                let dir = if self.at_upper[enter] { -1.0 } else { 1.0 };
+                self.load_column(enter, &mut ecol);
+                self.stats.ftran_nnz += self.factor.ftran(&mut ecol);
+                match self.ratio_test(enter, dir, &ecol) {
+                    Step::Unbounded => return Err(SolveError::Unbounded),
+                    Step::Flip => {
+                        let span = self.ub[enter] - self.lb[enter];
+                        let delta = dir * span;
+                        #[cfg(feature = "check-invariants")]
+                        assert_monotone_step(d[enter], delta, "bound flip");
+                        for (x, &e) in self.xb.iter_mut().zip(&ecol) {
+                            *x -= e * delta;
+                        }
+                        self.at_upper[enter] = !self.at_upper[enter];
+                        if weighted {
+                            self.refresh_viol(enter, col_limit, d, &mut viol, &mut active);
+                        }
+                        self.stats.flips += 1;
+                        fresh = false;
+                    }
+                    Step::Pivot {
+                        row,
+                        target,
+                        leave_at_upper,
+                    } => {
+                        rho.fill(0.0);
+                        rho[row] = 1.0;
+                        self.stats.btran_nnz += self.factor.btran(&mut rho);
+                        self.pricing_row(&rho, &mut pr);
+                        // Stability trigger: the pivot element computed
+                        // through FTRAN and through BTRAN must agree.
+                        let (pf, pb) = (ecol[row], pr.alpha[enter]);
+                        if !fresh && (pf - pb).abs() > STAB_EPS * (1.0 + pf.abs().max(pb.abs())) {
+                            self.refactorize()?;
+                            fresh = true;
+                            continue;
+                        }
+                        #[cfg(feature = "check-invariants")]
+                        assert_monotone_step(
+                            d[enter],
+                            (self.xb[row] - target) / ecol[row],
+                            "pivot",
+                        );
+                        if (self.xb[row] - target).abs() <= EPS {
+                            self.stats.degenerate += 1;
+                        }
+                        if weighted {
+                            match pricing {
+                                Pricing::SteepestEdge => self.steepest_update(
+                                    &mut weights,
+                                    enter,
+                                    row,
+                                    &ecol,
+                                    &pr,
+                                    &mut tau,
+                                ),
+                                _ => self.devex_update(&mut weights, enter, row, &pr),
+                            }
+                        }
+                        self.pivot_apply(row, enter, target, leave_at_upper, d, &ecol, &pr)?;
+                        if weighted {
+                            // Reduced costs changed exactly on the
+                            // pricing row's support (plus the basis
+                            // swap, whose columns the support covers).
+                            for idx in 0..pr.support.len() {
+                                let j = pr.support[idx] as usize;
+                                self.refresh_viol(j, col_limit, d, &mut viol, &mut active);
+                            }
+                        }
+                        self.stats.pivots += 1;
+                        fresh = false;
+                    }
+                }
+            }
+            Err(SolveError::IterationLimit)
+        })();
+        self.flush_stats();
+        result
+    }
+
+    /// Exact steepest-edge update (Forrest–Goldfarb): reference weights
+    /// `γ_j ≈ 1 + ‖B⁻¹a_j‖²`. The entering column's exact norm is free
+    /// (its FTRAN just ran); the cross terms `v_j = (B⁻ᵀd̂)ᵀa_j` cost
+    /// one extra BTRAN plus sparse column dots — `γ_j` is unchanged
+    /// wherever `α_j = 0`, so `v_j` is only evaluated on the pricing
+    /// row's support rather than by a second full pricing sweep. When
+    /// the maintained `γ_q` has drifted a factor [`SE_DRIFT`] from
+    /// exact, the framework resets to unit weights.
+    fn steepest_update(
+        &mut self,
+        weights: &mut [f64],
+        enter: usize,
+        row: usize,
+        ecol: &[f64],
+        pr: &PriceRow,
+        tau: &mut [f64],
+    ) {
+        let exact: f64 = 1.0 + ecol.iter().map(|e| e * e).sum::<f64>();
+        let held = weights[enter].max(1.0);
+        if held < exact / SE_DRIFT || held > exact * SE_DRIFT {
+            weights.fill(1.0);
+            self.stats.steepest_resets += 1;
+        }
+        let aq = ecol[row];
+        tau.copy_from_slice(ecol);
+        self.stats.btran_nnz += self.factor.btran(tau);
+        let leave = self.basis[row];
+        for &ju in &pr.support {
+            let j = ju as usize;
+            if j == enter || self.basis_pos[j] != usize::MAX {
+                continue;
+            }
+            let a = pr.alpha[j];
+            if a == 0.0 {
+                continue;
+            }
+            let r = a / aq;
+            let v = self.dot_column(j, tau);
+            weights[j] = (weights[j] - 2.0 * r * v + r * r * exact).max(1.0 + r * r);
+        }
+        weights[leave] = (exact / (aq * aq)).max(1.0 + 1.0 / (aq * aq));
+        weights[enter] = 1.0;
+    }
+
+    /// Devex reference-weight update on the dense pricing row — the same
+    /// recurrence as the tableau engine's (`w_j ← max(w_j, (α_j/α_q)²·
+    /// w_q)`), with the [`DEVEX_RESET`] overflow reset.
+    fn devex_update(&mut self, w: &mut [f64], enter: usize, row: usize, pr: &PriceRow) {
+        let aq = pr.alpha[enter];
+        let wq = w[enter].max(1.0);
+        let leave = self.basis[row];
+        let mut wmax = 0.0f64;
+        for &ju in &pr.support {
+            let j = ju as usize;
+            if j == enter {
+                continue;
+            }
+            let a = pr.alpha[j];
+            if a == 0.0 {
+                continue;
+            }
+            let p = a / aq;
+            let cand = p * p * wq;
+            if cand > w[j] {
+                w[j] = cand;
+            }
+            if w[j] > wmax {
+                wmax = w[j];
+            }
+        }
+        w[leave] = (wq / (aq * aq)).max(1.0);
+        w[enter] = 1.0;
+        self.stats.devex_pivots += 1;
+        if wmax.max(w[leave]) > DEVEX_RESET {
+            w.fill(1.0);
+            self.stats.devex_resets += 1;
+        }
+    }
+
+    /// Violation of candidate `j` under the current reduced costs:
+    /// positive means entering improves the objective; −∞ marks basic
+    /// or fixed columns (never eligible).
+    fn entering_viol(&self, j: usize, d: &[f64]) -> f64 {
+        if self.basis_pos[j] != usize::MAX || self.ub[j] - self.lb[j] <= EPS {
+            return f64::NEG_INFINITY;
+        }
+        if self.at_upper[j] {
+            d[j]
+        } else {
+            -d[j]
+        }
+    }
+
+    /// Refresh one entry of the maintained violation array (and the
+    /// live-candidate count) after its reduced cost, bound side, or
+    /// basis membership changed.
+    fn refresh_viol(
+        &self,
+        j: usize,
+        col_limit: usize,
+        d: &[f64],
+        viol: &mut [f64],
+        active: &mut u64,
+    ) {
+        if j >= col_limit {
+            return;
+        }
+        let was = viol[j] != f64::NEG_INFINITY;
+        let now = self.entering_viol(j, d);
+        viol[j] = now;
+        match (was, now != f64::NEG_INFINITY) {
+            (false, true) => *active += 1,
+            (true, false) => *active -= 1,
+            _ => {}
+        }
+    }
+
+    /// Weighted entering choice: the candidate maximising `viol²/w`
+    /// over all positive violations, ties on lowest index. `viol` is
+    /// the maintained violation array (−∞ for non-candidates) and
+    /// `active` the number of live candidates it holds.
+    fn choose_entering_weighted(&mut self, viol: &[f64], active: u64, w: &[f64]) -> Option<usize> {
+        self.stats.scanned += active;
+        let mut best = None;
+        let mut best_score = 0.0f64;
+        for (j, &v) in viol.iter().enumerate() {
+            if v > COST_EPS {
+                let score = v * v / w[j];
+                if score > best_score {
+                    best_score = score;
+                    best = Some(j);
+                }
+            }
+        }
+        best
+    }
+
+    /// Dantzig (largest violation) or Bland (lowest index) entering
+    /// choice over a full scan. The revised engine always scans fully:
+    /// reduced costs are dense and up to date, so partial pricing would
+    /// save nothing.
+    fn choose_entering(&mut self, d: &[f64], col_limit: usize, bland: bool) -> Option<usize> {
+        let mut best = None;
+        let mut best_score = COST_EPS;
+        for (j, &dj) in d.iter().enumerate().take(col_limit) {
+            if self.basis_pos[j] != usize::MAX || self.ub[j] - self.lb[j] <= EPS {
+                continue;
+            }
+            self.stats.scanned += 1;
+            let score = if self.at_upper[j] { dj } else { -dj };
+            if score > best_score {
+                if bland {
+                    return Some(j);
+                }
+                best_score = score;
+                best = Some(j);
+            }
+        }
+        best
+    }
+
+    /// Bounded ratio test for `enter` moving in direction `dir` (its
+    /// FTRAN'd column in `ecol`): identical logic and tie-breaks to the
+    /// tableau engine's.
+    fn ratio_test(&self, enter: usize, dir: f64, ecol: &[f64]) -> Step {
+        let span = self.ub[enter] - self.lb[enter]; // may be ∞
+        let mut best_step = span;
+        let mut best: Option<(usize, f64, bool)> = None; // (row, target, at_upper)
+        for (i, &e) in ecol.iter().enumerate() {
+            let rate = dir * e;
+            let b = self.basis[i];
+            let value = self.xb[i];
+            let (limit, target, leave_at_upper) = if rate > EPS {
+                if self.lb[b].is_finite() {
+                    ((value - self.lb[b]) / rate, self.lb[b], false)
+                } else {
+                    continue;
+                }
+            } else if rate < -EPS {
+                if self.ub[b].is_finite() {
+                    ((self.ub[b] - value) / -rate, self.ub[b], true)
+                } else {
+                    continue;
+                }
+            } else {
+                continue;
+            };
+            let limit = limit.max(0.0); // tolerate tiny bound violations
+            let replaces = match best {
+                _ if limit < best_step - EPS => true,
+                Some((bi, _, _)) => limit < best_step + EPS && self.basis[i] < self.basis[bi],
+                None => limit < best_step + EPS && limit < span,
+            };
+            if replaces {
+                best_step = limit.min(best_step);
+                best = Some((i, target, leave_at_upper));
+            }
+        }
+        match best {
+            Some((row, target, leave_at_upper)) => Step::Pivot {
+                row,
+                target,
+                leave_at_upper,
+            },
+            None if span.is_finite() => Step::Flip,
+            None => Step::Unbounded,
+        }
+    }
+
+    /// Dual simplex repair: same leaving/entering rules as the tableau
+    /// engine, with the pricing row reconstructed per iteration by one
+    /// BTRAN, and the same stability/refactorization policy as the
+    /// primal loop.
+    fn dual_iterate(&mut self, d: &mut [f64], col_limit: usize) -> Result<(), SolveError> {
+        let max_iter = 20_000 + 100 * (self.m + self.cols);
+        let mut ecol = vec![0.0; self.m];
+        let mut rho = vec![0.0; self.m];
+        let mut pr = PriceRow::new(self.cols);
+        let mut fresh = false;
+        let result = (|| {
+            for _ in 0..max_iter {
+                // Leaving row: the largest bound violation.
+                let mut leave: Option<(usize, f64, bool)> = None; // (row, viol, below)
+                for i in 0..self.m {
+                    let b = self.basis[i];
+                    let v = self.xb[i];
+                    let (viol, below) = if v < self.lb[b] - FEAS_EPS {
+                        (self.lb[b] - v, true)
+                    } else if v > self.ub[b] + FEAS_EPS {
+                        (v - self.ub[b], false)
+                    } else {
+                        continue;
+                    };
+                    if leave.is_none_or(|(_, w, _)| viol > w) {
+                        leave = Some((i, viol, below));
+                    }
+                }
+                let Some((row, _, below)) = leave else {
+                    return Ok(()); // primal feasible
+                };
+                let b = self.basis[row];
+                let target = if below { self.lb[b] } else { self.ub[b] };
+
+                rho.fill(0.0);
+                rho[row] = 1.0;
+                self.stats.btran_nnz += self.factor.btran(&mut rho);
+                self.pricing_row(&rho, &mut pr);
+
+                // Entering column by the dual ratio test over the row's
+                // entries (ascending scan keeps the tableau tie-breaks).
+                let mut enter: Option<(usize, f64)> = None;
+                for (j, &a) in pr.alpha.iter().enumerate().take(col_limit) {
+                    if self.basis_pos[j] != usize::MAX || self.ub[j] - self.lb[j] <= EPS {
+                        continue;
+                    }
+                    if a.abs() <= EPS {
+                        continue;
+                    }
+                    let eligible = if below {
+                        (!self.at_upper[j] && a < -EPS) || (self.at_upper[j] && a > EPS)
+                    } else {
+                        (!self.at_upper[j] && a > EPS) || (self.at_upper[j] && a < -EPS)
+                    };
+                    if !eligible {
+                        continue;
+                    }
+                    let ratio = (d[j] / a).abs();
+                    if enter.is_none_or(|(_, r)| ratio < r - EPS) {
+                        enter = Some((j, ratio));
+                    }
+                }
+                let Some((col, _)) = enter else {
+                    return Err(SolveError::Infeasible);
+                };
+                self.load_column(col, &mut ecol);
+                self.stats.ftran_nnz += self.factor.ftran(&mut ecol);
+                let (pf, pb) = (ecol[row], pr.alpha[col]);
+                if !fresh && (pf - pb).abs() > STAB_EPS * (1.0 + pf.abs().max(pb.abs())) {
+                    self.refactorize()?;
+                    fresh = true;
+                    continue;
+                }
+                self.pivot_apply(row, col, target, !below, d, &ecol, &pr)?;
+                self.stats.pivots += 1;
+                self.stats.dual_pivots += 1;
+                fresh = false;
+            }
+            Err(SolveError::IterationLimit)
+        })();
+        self.flush_stats();
+        result
+    }
+
+    /// Apply a pivot: `col` becomes basic at `row`, the leaving variable
+    /// lands on `target`. Basic values move along the entering column,
+    /// reduced costs along the pricing row, the eta file grows by one,
+    /// and the periodic refactorization policy runs.
+    #[allow(clippy::too_many_arguments)]
+    fn pivot_apply(
+        &mut self,
+        row: usize,
+        col: usize,
+        target: f64,
+        leave_at_upper: bool,
+        d: &mut [f64],
+        ecol: &[f64],
+        pr: &PriceRow,
+    ) -> Result<(), SolveError> {
+        let aq = ecol[row];
+        debug_assert!(aq.abs() > EPS);
+        let delta = (self.xb[row] - target) / aq;
+        let entering_value = self.nonbasic_value(col) + delta;
+
+        for (i, (x, &e)) in self.xb.iter_mut().zip(ecol).enumerate() {
+            if i != row && e != 0.0 {
+                *x -= e * delta;
+            }
+        }
+
+        let leave = self.basis[row];
+        self.at_upper[leave] = leave_at_upper;
+        self.basis_pos[leave] = usize::MAX;
+        self.basis[row] = col;
+        self.basis_pos[col] = row;
+        self.xb[row] = entering_value;
+
+        // d′_j = d_j − (d_q/α_q)·α_j over the pricing row's support
+        // (off-support reduced costs are unchanged); exact zeros for
+        // the new basic and the textbook value for the leaver.
+        let factor = d[col] / aq;
+        if factor != 0.0 {
+            for &ju in &pr.support {
+                let j = ju as usize;
+                d[j] -= factor * pr.alpha[j];
+            }
+        }
+        d[col] = 0.0;
+        d[leave] = -factor;
+
+        self.factor.push_eta(row, ecol);
+        self.stats.eta_updates += 1;
+        if self.factor.eta_count() >= self.params.refactor_after {
+            self.refactorize()?;
+        }
+        #[cfg(feature = "check-invariants")]
+        self.assert_invariants("pivot");
+        Ok(())
+    }
+
+    /// After phase 1: pivot basic artificials (at value 0) out where a
+    /// real column has a nonzero pricing-row entry (redundant rows keep
+    /// theirs), then freeze every artificial at `[0, 0]`.
+    fn expel_and_freeze_artificials(&mut self, d: &mut [f64]) -> Result<(), SolveError> {
+        let mut ecol = vec![0.0; self.m];
+        let mut rho = vec![0.0; self.m];
+        let mut pr = PriceRow::new(self.cols);
+        for i in 0..self.m {
+            if self.basis[i] >= self.art_start {
+                rho.fill(0.0);
+                rho[i] = 1.0;
+                self.stats.btran_nnz += self.factor.btran(&mut rho);
+                self.pricing_row(&rho, &mut pr);
+                let col = (0..self.art_start)
+                    .find(|&j| self.basis_pos[j] == usize::MAX && pr.alpha[j].abs() > 1e-7);
+                if let Some(col) = col {
+                    self.load_column(col, &mut ecol);
+                    self.stats.ftran_nnz += self.factor.ftran(&mut ecol);
+                    self.pivot_apply(i, col, 0.0, false, d, &ecol, &pr)?;
+                    self.stats.pivots += 1;
+                }
+            }
+        }
+        for j in self.art_start..self.cols {
+            self.lb[j] = 0.0;
+            self.ub[j] = 0.0;
+        }
+        #[cfg(feature = "check-invariants")]
+        self.assert_invariants("artificial expulsion");
+        Ok(())
+    }
+
+    /// Read the structural solution and objective off the state.
+    fn extract(&self, model: &Model) -> Solution {
+        let mut x = vec![0.0; self.n];
+        for (j, xj) in x.iter_mut().enumerate() {
+            *xj = if self.basis_pos[j] != usize::MAX {
+                self.xb[self.basis_pos[j]]
+            } else {
+                self.nonbasic_value(j)
+            };
+        }
+        let objective: f64 = model
+            .objective
+            .iter()
+            .map(|&(v, coef)| coef * x[v.0])
+            .sum::<f64>()
+            + model.objective_const;
+        Solution::new(objective, x)
+    }
+
+    /// Add the per-solve counters to telemetry and zero them (safe to
+    /// call repeatedly; loop boundaries and solve exits both flush).
+    fn flush_stats(&mut self) {
+        let s = self.stats;
+        self.stats = Stats::default();
+        vb_telemetry::counter!("solver.pivots").add(s.pivots);
+        vb_telemetry::counter!("solver.pricing_cols_scanned").add(s.scanned);
+        vb_telemetry::counter!("solver.ftran_nnz").add(s.ftran_nnz);
+        vb_telemetry::counter!("solver.btran_nnz").add(s.btran_nnz);
+        if s.dual_pivots > 0 {
+            vb_telemetry::counter!("solver.dual_pivots").add(s.dual_pivots);
+        }
+        if s.flips > 0 {
+            vb_telemetry::counter!("solver.bound_flips").add(s.flips);
+        }
+        if s.degenerate > 0 {
+            vb_telemetry::counter!("solver.degenerate_pivots").add(s.degenerate);
+        }
+        if s.devex_pivots > 0 {
+            vb_telemetry::counter!("solver.devex_pivots").add(s.devex_pivots);
+        }
+        if s.devex_resets > 0 {
+            vb_telemetry::counter!("solver.devex_resets").add(s.devex_resets);
+        }
+        if s.refactorizations > 0 {
+            vb_telemetry::counter!("solver.refactorizations").add(s.refactorizations);
+        }
+        if s.eta_updates > 0 {
+            vb_telemetry::counter!("solver.eta_updates").add(s.eta_updates);
+        }
+        if s.steepest_resets > 0 {
+            vb_telemetry::counter!("solver.steepest_resets").add(s.steepest_resets);
+        }
+    }
+
+    /// Algebraic self-checks behind the `check-invariants` feature:
+    ///
+    /// 1. `basis`/`basis_pos` form a consistent bijection and every
+    ///    nonbasic column sits on a finite bound (as in the tableau
+    ///    engine);
+    /// 2. the **constraint residual** `‖A·x − b‖` is small row by row,
+    ///    with `x` assembled from the basic values and nonbasic bounds —
+    ///    the factorized engine's counterpart of the tableau's unit
+    ///    basic-column check (and the check the refactorization-
+    ///    consistency assert complements from the other side).
+    #[cfg(feature = "check-invariants")]
+    fn assert_invariants(&self, ctx: &str) {
+        assert_eq!(self.basis.len(), self.m, "basis length drifted after {ctx}");
+        let mut seen = vec![false; self.cols];
+        for (i, &b) in self.basis.iter().enumerate() {
+            assert!(
+                b < self.cols,
+                "row {i}: basic column {b} out of range after {ctx}"
+            );
+            assert!(!seen[b], "column {b} basic in two rows after {ctx}");
+            seen[b] = true;
+            assert_eq!(
+                self.basis_pos[b], i,
+                "basis_pos[{b}] disagrees with basis[{i}] after {ctx}"
+            );
+            assert!(
+                self.xb[i].is_finite(),
+                "row {i}: non-finite basic value after {ctx}"
+            );
+        }
+        let n_basic = self.basis_pos.iter().filter(|&&p| p != usize::MAX).count();
+        assert_eq!(n_basic, self.m, "basic column count != m after {ctx}");
+        for j in 0..self.cols {
+            if self.basis_pos[j] == usize::MAX {
+                assert!(
+                    self.nonbasic_value(j).is_finite(),
+                    "nonbasic column {j} rests on a non-finite bound after {ctx}"
+                );
+            }
+        }
+
+        // ‖A·x − b‖ residual, accumulated column-wise with a per-row
+        // magnitude scale so well-conditioned rows get a tight check.
+        let mut resid: Vec<f64> = self.rhs_b.iter().map(|&b| -b).collect();
+        let mut scale: Vec<f64> = self.rhs_b.iter().map(|&b| b.abs()).collect();
+        for j in 0..self.cols {
+            let v = if self.basis_pos[j] != usize::MAX {
+                self.xb[self.basis_pos[j]]
+            } else {
+                self.nonbasic_value(j)
+            };
+            if v == 0.0 {
+                continue;
+            }
+            self.sub_column(j, -v, &mut resid);
+            if j < self.n {
+                let (a, b) = (
+                    self.mat.col_starts[j] as usize,
+                    self.mat.col_starts[j + 1] as usize,
+                );
+                for e in a..b {
+                    scale[self.mat.col_rows[e] as usize] += (self.mat.col_vals[e] * v).abs();
+                }
+            } else if j < self.art_start {
+                scale[j - self.n] += v.abs();
+            } else {
+                scale[self.arts[j - self.art_start].row as usize] += v.abs();
+            }
+        }
+        for (i, (&r, &s)) in resid.iter().zip(&scale).enumerate() {
+            assert!(
+                r.abs() <= 1e-6 * (1.0 + s),
+                "row {i}: constraint residual {r} (scale {s}) after {ctx}"
+            );
+        }
+    }
+}
+
+/// Objective monotonicity for primal steps (dual repair is exempt) —
+/// identical to the tableau engine's check.
+#[cfg(feature = "check-invariants")]
+fn assert_monotone_step(d_enter: f64, travel: f64, what: &str) {
+    let change = d_enter * travel;
+    assert!(
+        change <= FEAS_EPS * (1.0 + travel.abs()),
+        "objective increased by {change} on a primal {what} \
+         (reduced cost {d_enter}, travel {travel})"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+    use crate::simplex;
+
+    fn sample_lp() -> Model {
+        // max 3x + 5y s.t. x<=4, 2y<=12, 3x+2y<=18 -> x=2,y=6, obj 36.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.var("x", 0.0, f64::INFINITY);
+        let y = m.var("y", 0.0, f64::INFINITY);
+        let e = m.expr(&[(x, 1.0)]);
+        m.add_le(e, 4.0);
+        let e = m.expr(&[(y, 2.0)]);
+        m.add_le(e, 12.0);
+        let e = m.expr(&[(x, 3.0), (y, 2.0)]);
+        m.add_le(e, 18.0);
+        let obj = m.expr(&[(x, 3.0), (y, 5.0)]);
+        m.set_objective(obj);
+        m
+    }
+
+    #[test]
+    fn matches_tableau_on_classic_lp() {
+        let m = sample_lp();
+        for pricing in [Pricing::Dantzig, Pricing::Devex, Pricing::SteepestEdge] {
+            let (sol, _) = solve_lp_state(&m, &[], None, pricing).unwrap();
+            assert!((sol.objective - 36.0).abs() < 1e-6, "obj {}", sol.objective);
+        }
+    }
+
+    #[test]
+    fn phase1_and_equalities() {
+        // min x + y s.t. x + 2y = 4, x - y = 1 -> x=2, y=1, obj 3.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.var("x", 0.0, f64::INFINITY);
+        let y = m.var("y", 0.0, f64::INFINITY);
+        let e = m.expr(&[(x, 1.0), (y, 2.0)]);
+        m.add_eq(e, 4.0);
+        let e = m.expr(&[(x, 1.0), (y, -1.0)]);
+        m.add_eq(e, 1.0);
+        let obj = m.expr(&[(x, 1.0), (y, 1.0)]);
+        m.set_objective(obj);
+        let (sol, _) = solve_lp_state(&m, &[], None, Pricing::SteepestEdge).unwrap();
+        assert!((sol.objective - 3.0).abs() < 1e-6);
+        let v = sol.values();
+        assert!((v[0] - 2.0).abs() < 1e-6 && (v[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_and_unbounded_are_reported() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.var("x", 0.0, 1.0);
+        let e = m.expr(&[(x, 1.0)]);
+        m.add_ge(e, 2.0);
+        assert!(matches!(
+            solve_lp_state(&m, &[], None, Pricing::SteepestEdge),
+            Err(SolveError::Infeasible)
+        ));
+
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.var("x", 0.0, f64::INFINITY);
+        let y = m.var("y", 0.0, f64::INFINITY);
+        let e = m.expr(&[(x, 1.0), (y, -1.0)]);
+        m.add_le(e, 1.0);
+        let obj = m.expr(&[(x, 1.0)]);
+        m.set_objective(obj);
+        assert!(matches!(
+            solve_lp_state(&m, &[], None, Pricing::SteepestEdge),
+            Err(SolveError::Unbounded)
+        ));
+    }
+
+    #[test]
+    fn warm_start_with_branching_bounds() {
+        let m = sample_lp();
+        let (_, root) = solve_lp_state(&m, &[], None, Pricing::SteepestEdge).unwrap();
+        // Branch x <= 1: warm must agree with cold.
+        let x = VarId(0);
+        let (warm_sol, _) =
+            solve_lp_state(&m, &[(x, 0.0, 1.0)], Some(&root), Pricing::SteepestEdge).unwrap();
+        let (cold_sol, _) =
+            solve_lp_state(&m, &[(x, 0.0, 1.0)], None, Pricing::SteepestEdge).unwrap();
+        assert!(
+            (warm_sol.objective - cold_sol.objective).abs() < 1e-9,
+            "warm {} vs cold {}",
+            warm_sol.objective,
+            cold_sol.objective
+        );
+    }
+
+    #[test]
+    fn epoch_warm_tracks_rhs_and_bound_moves() {
+        let mut m = sample_lp();
+        let (_, state) = solve_lp_state(&m, &[], None, Pricing::SteepestEdge).unwrap();
+        // Move the RHS and a bound, re-solve warm and cold.
+        m.constraints[2].rhs = 16.0;
+        m.vars[0].ub = 3.0;
+        let (warm_sol, _) = solve_lp_epoch_warm(&m, &state, Pricing::SteepestEdge).unwrap();
+        let (cold_sol, _) = solve_lp_state(&m, &[], None, Pricing::SteepestEdge).unwrap();
+        assert!(
+            (warm_sol.objective - cold_sol.objective).abs() < 1e-9,
+            "warm {} vs cold {}",
+            warm_sol.objective,
+            cold_sol.objective
+        );
+    }
+
+    #[test]
+    fn tiny_refactor_interval_matches_default() {
+        // Forcing a refactorization every 2 pivots must not change the
+        // optimum (it only swaps eta solves for fresh factors).
+        let m = sample_lp();
+        let tight = Params {
+            refactor_after: 2,
+            bland_after: 3,
+        };
+        let (sol, st) = solve_lp_state_params(&m, &[], None, Pricing::SteepestEdge, tight).unwrap();
+        assert!((sol.objective - 36.0).abs() < 1e-6);
+        assert!(st.params.refactor_after == 2);
+        let (dense_sol, _) = simplex::solve_lp_state(&m, &[], None).unwrap();
+        assert!((sol.objective - dense_sol.objective).abs() < 1e-9);
+    }
+}

@@ -75,20 +75,26 @@ pub enum Pricing {
     /// when they overflow [`DEVEX_RESET`]. More work per scan, far
     /// fewer pivots on the fleet-shaped models.
     Devex,
+    /// Steepest-edge pricing with exact norms, maintained per pivot by
+    /// the Forrest–Goldfarb recurrence on the factorized
+    /// ([`crate::revised`]) engine. The explicit-tableau engine cannot
+    /// afford the extra BTRAN per pivot, so it prices this variant with
+    /// devex weights (the cheap approximation of the same norms).
+    SteepestEdge,
 }
 
 /// Pivot / ratio-test tolerance.
-const EPS: f64 = 1e-9;
+pub(crate) const EPS: f64 = 1e-9;
 /// Reduced-cost optimality tolerance.
-const COST_EPS: f64 = 1e-7;
+pub(crate) const COST_EPS: f64 = 1e-7;
 /// Primal feasibility tolerance (phase 1 and dual-simplex repair).
-const FEAS_EPS: f64 = 1e-6;
+pub(crate) const FEAS_EPS: f64 = 1e-6;
 /// Iterations of Dantzig pivoting before switching to Bland's rule.
-const BLAND_AFTER: usize = 2_000;
+pub(crate) const BLAND_AFTER: usize = 2_000;
 /// Entries whose magnitude falls to or below this during sparse row
 /// updates are dropped (numerical zeros would otherwise accumulate and
 /// densify the rows).
-const DROP_EPS: f64 = 1e-12;
+pub(crate) const DROP_EPS: f64 = 1e-12;
 /// Minimum partial-pricing window: the cyclic Dantzig scan examines at
 /// least this many columns (and at least `cols / 8`) once a violating
 /// candidate has been found before committing to the best seen.
@@ -96,7 +102,7 @@ const PRICE_BLOCK: usize = 64;
 /// Devex reference weights reset to 1 when any weight exceeds this —
 /// the reference framework has drifted too far to approximate
 /// steepest-edge norms usefully.
-const DEVEX_RESET: f64 = 1e7;
+pub(crate) const DEVEX_RESET: f64 = 1e7;
 
 /// A sparse tableau row: parallel `(column, value)` arrays sorted by
 /// column index, nonzeros only.
@@ -718,7 +724,9 @@ impl SimplexState {
         let mut devex_resets = 0u64;
         let mut weights: Option<Vec<f64>> = match pricing {
             Pricing::Dantzig => None,
-            Pricing::Devex => Some(vec![1.0; self.cols]),
+            // The tableau engine approximates steepest-edge with devex
+            // weights; exact norms need the factorized engine's BTRAN.
+            Pricing::Devex | Pricing::SteepestEdge => Some(vec![1.0; self.cols]),
         };
         let result = (|| {
             let mut ecol = vec![0.0; self.m];

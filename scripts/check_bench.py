@@ -90,7 +90,14 @@ SOLVER_ROW_RULES = {
     # noise largely cancels in the ratio and the band can be tighter
     # than the raw timers.
     "speedup": ("ratio_min", 1.4),
-    # Presolve + devex + parallel B&B must not move any optimum.
+    # Factorized-basis accounting: deterministic given the config, but
+    # the refactorization policy includes a floating-point stability
+    # trigger, so cross-platform float drift gets a band rather than
+    # bit-equality. More refactorizations (or a longer eta file) than
+    # the baseline means the update path degraded.
+    "refactorizations": ("ratio", 1.5),
+    "eta_updates": ("ratio", 1.25),
+    # The production kernel must not move any optimum.
     "max_objective_drift": ("abs_max", 1e-6),
 }
 

@@ -54,6 +54,8 @@ def solver_scale_row(scale, **updates):
         "baseline_pivots": 4000,
         "kernel_pivots": 2000,
         "presolve_vars_fixed": 5760,
+        "refactorizations": 40,
+        "eta_updates": 1900,
         "max_objective_drift": 0.0,
     }
     row.update(updates)
@@ -159,6 +161,34 @@ class SolverGateTests(GateHarness):
         )
         self.assertEqual(code, 1, out)
         self.assertIn("100x.presolve_vars_fixed", out)
+
+    def test_scaling_refactorization_blowup_fails(self):
+        # A degraded eta/update path shows up as the factorized kernel
+        # refactorizing far more often than the committed baseline.
+        code, out = self.gate(
+            solver_result(scaling=[solver_scale_row("100x", refactorizations=80)]),
+            solver_result(scaling=[solver_scale_row("100x")]),
+        )
+        self.assertEqual(code, 1, out)
+        self.assertIn("100x.refactorizations", out)
+
+    def test_scaling_eta_updates_within_band_pass(self):
+        # Small cross-platform drift in the stability trigger is not a
+        # regression: eta updates have a 1.25x band, not bit-equality.
+        code, out = self.gate(
+            solver_result(scaling=[solver_scale_row("100x", eta_updates=2100)]),
+            solver_result(scaling=[solver_scale_row("100x")]),
+        )
+        self.assertEqual(code, 0, out)
+        self.assertIn("100x.eta_updates", out)
+
+    def test_scaling_eta_updates_blowup_fails(self):
+        code, out = self.gate(
+            solver_result(scaling=[solver_scale_row("100x", eta_updates=4000)]),
+            solver_result(scaling=[solver_scale_row("100x")]),
+        )
+        self.assertEqual(code, 1, out)
+        self.assertIn("100x.eta_updates", out)
 
     def test_scaling_objective_drift_fails(self):
         code, out = self.gate(

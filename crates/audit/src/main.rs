@@ -2,16 +2,31 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use vb_audit::Finding;
 
-const USAGE: &str = "usage: vb-audit --workspace [--root <path>]
+const USAGE: &str = "usage: vb-audit --workspace [--root <path>] [--format=<fmt>]
 
 Lints every non-shim, non-test Rust source in the workspace. Exits 0
-when no finding survives suppression, 1 otherwise (\"-D\" semantics).";
+when no finding survives suppression, 1 otherwise (\"-D\" semantics).
+
+Formats:
+  text    human-readable `file:line: [lint] message` lines (default)
+  json    a JSON array of {file, line, lint, message} objects
+  github  GitHub Actions workflow commands (`::error ...`), so CI
+          annotates findings inline on the PR diff";
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Github,
+}
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut workspace = false;
     let mut root: Option<PathBuf> = None;
+    let mut format = Format::Text;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workspace" => workspace = true,
@@ -27,8 +42,23 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             other => {
-                eprintln!("unknown argument `{other}`\n{USAGE}");
-                return ExitCode::from(2);
+                let fmt = other
+                    .strip_prefix("--format=")
+                    .map(str::to_string)
+                    .or_else(|| (other == "--format").then(|| args.next().unwrap_or_default()));
+                match fmt.as_deref() {
+                    Some("text") => format = Format::Text,
+                    Some("json") => format = Format::Json,
+                    Some("github") => format = Format::Github,
+                    Some(bad) => {
+                        eprintln!("unknown format `{bad}`\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                    None => {
+                        eprintln!("unknown argument `{other}`\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
             }
         }
     }
@@ -39,22 +69,94 @@ fn main() -> ExitCode {
 
     let root = root.unwrap_or_else(find_workspace_root);
     match vb_audit::audit_workspace(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!("vb-audit: workspace clean");
-            ExitCode::SUCCESS
-        }
         Ok(findings) => {
-            for finding in &findings {
-                println!("{finding}");
+            emit(&findings, format);
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
             }
-            println!("vb-audit: {} finding(s)", findings.len());
-            ExitCode::FAILURE
         }
         Err(err) => {
             eprintln!("vb-audit: {err}");
             ExitCode::from(2)
         }
     }
+}
+
+fn emit(findings: &[Finding], format: Format) {
+    match format {
+        Format::Text => {
+            for finding in findings {
+                println!("{finding}");
+            }
+            if findings.is_empty() {
+                println!("vb-audit: workspace clean");
+            } else {
+                println!("vb-audit: {} finding(s)", findings.len());
+            }
+        }
+        Format::Json => {
+            let mut out = String::from("[");
+            for (i, f) in findings.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n  {{\"file\": \"{}\", \"line\": {}, \"lint\": \"{}\", \"message\": \"{}\"}}",
+                    json_escape(&f.file),
+                    f.line,
+                    f.lint,
+                    json_escape(&f.message)
+                ));
+            }
+            out.push_str(if findings.is_empty() { "]" } else { "\n]" });
+            println!("{out}");
+        }
+        Format::Github => {
+            // Workflow commands: one `::error` annotation per finding,
+            // anchored to the file/line so it renders on the PR diff.
+            for f in findings {
+                println!(
+                    "::error file={},line={},title=vb-audit {}::{}",
+                    f.file,
+                    f.line,
+                    f.lint,
+                    gha_escape(&f.message)
+                );
+            }
+            if findings.is_empty() {
+                println!("vb-audit: workspace clean");
+            } else {
+                println!("vb-audit: {} finding(s)", findings.len());
+            }
+        }
+    }
+}
+
+/// Minimal JSON string escaping (the finding text is ASCII-ish prose;
+/// control characters other than the escaped set do not occur).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// GitHub workflow-command data escaping (`%`, CR, LF).
+fn gha_escape(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
 }
 
 /// Walk up from the current directory to the first `Cargo.toml` that

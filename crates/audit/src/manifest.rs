@@ -19,6 +19,18 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+/// A parsed `# vb-audit: allow(lint, reason)` directive inside the
+/// manifest (the only lint that fires on manifest lines is
+/// `dead-metric`).
+#[derive(Debug, Clone)]
+pub struct ManifestAllow {
+    /// 1-based line the suppression applies to.
+    pub line: usize,
+    pub lint: String,
+    #[allow(dead_code)]
+    pub reason: String,
+}
+
 /// The metric kinds the telemetry layer exposes.
 pub const KINDS: &[&str] = &[
     "counters",
@@ -30,16 +42,35 @@ pub const KINDS: &[&str] = &[
     "series",
 ];
 
-/// Parsed manifest: kind → set of declared metric names.
+/// Parsed manifest: kind → set of declared metric names, plus the
+/// declaration line of every entry (for `dead-metric` findings) and
+/// any `#`-comment allow directives.
 #[derive(Debug, Default, Clone)]
 pub struct Manifest {
     pub kinds: BTreeMap<String, BTreeSet<String>>,
+    /// `(kind, name)` → 1-based declaration line.
+    pub lines: BTreeMap<(String, String), usize>,
+    pub allows: Vec<ManifestAllow>,
 }
 
 impl Manifest {
     /// True when `name` is declared under `kind`.
     pub fn declares(&self, kind: &str, name: &str) -> bool {
         self.kinds.get(kind).is_some_and(|set| set.contains(name))
+    }
+
+    /// Declaration line of a manifest entry.
+    pub fn line_of(&self, kind: &str, name: &str) -> Option<usize> {
+        self.lines
+            .get(&(kind.to_string(), name.to_string()))
+            .copied()
+    }
+
+    /// True when a `dead-metric` allow directive targets this line.
+    pub fn allows_dead_metric(&self, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.line == line && a.lint == "dead-metric")
     }
 
     /// Parse the manifest text. Returns the manifest or a list of
@@ -52,6 +83,32 @@ impl Manifest {
         for (lineno0, raw) in text.lines().enumerate() {
             let lineno = lineno0 + 1;
             let line = raw.split('#').next().unwrap_or("").trim();
+            // Allow directives live in `#` comments; a directive on a
+            // comment-only line applies to the next line, an inline one
+            // to its own. Malformed directives are parse errors.
+            let comment = raw.split_once('#').map_or("", |x| x.1);
+            if let Some(pos) = comment.find("vb-audit:") {
+                let rest = comment[pos + "vb-audit:".len()..].trim();
+                match crate::scanner::parse_allow(rest) {
+                    Ok((lint, reason)) => {
+                        if lint != "dead-metric" {
+                            errors.push((
+                                lineno,
+                                format!(
+                                    "only dead-metric can be allowed in the manifest, not `{lint}`"
+                                ),
+                            ));
+                        } else {
+                            manifest.allows.push(ManifestAllow {
+                                line: if line.is_empty() { lineno + 1 } else { lineno },
+                                lint,
+                                reason,
+                            });
+                        }
+                    }
+                    Err(message) => errors.push((lineno, message)),
+                }
+            }
             if line.is_empty() {
                 continue;
             }
@@ -93,6 +150,9 @@ impl Manifest {
             if !set.insert(key.to_string()) {
                 errors.push((lineno, format!("duplicate metric `{key}` in [{section}]")));
             }
+            manifest
+                .lines
+                .insert((section.clone(), key.to_string()), lineno);
         }
         if errors.is_empty() {
             Ok(manifest)

@@ -1,4 +1,4 @@
-//! The project-specific lint rules.
+//! The per-line lexical rules (the original PR 5/6 lint set).
 //!
 //! | lint              | rule                                                        |
 //! |-------------------|-------------------------------------------------------------|
@@ -12,110 +12,62 @@
 //! | `div-guard`       | float divisions in `vb-net::wan` and `vb-stats` carry a     |
 //! |                   | visible degenerate-denominator guard                        |
 //!
-//! Any finding is suppressable with `// vb-audit: allow(lint, reason)`
-//! on (or immediately above) the offending line; the reason is
-//! mandatory. Malformed directives are findings themselves
-//! (`allow-parse`) and cannot be suppressed.
+//! These rules emit *raw* findings; suppression (`allow` directives)
+//! and stale-allow tracking happen in [`crate::rules`].
 
 use crate::manifest::{is_dot_snake, Manifest};
-use crate::scanner::Scanned;
-use std::collections::{BTreeMap, BTreeSet};
-use std::fmt;
-
-/// Lint names a directive may suppress.
-pub const KNOWN_LINTS: &[&str] = &[
-    "no-panic",
-    "float-cmp",
-    "horizon-literal",
-    "metric-name",
-    "div-guard",
-];
+use crate::rules::{Finding, PreparedFile};
 
 /// How many preceding lines a `div-guard` guard expression may sit above
 /// its division.
 const DIV_GUARD_WINDOW: usize = 12;
 
-/// One lint violation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Finding {
-    pub file: String,
-    /// 1-based.
-    pub line: usize,
-    pub lint: &'static str,
-    pub message: String,
-}
-
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.lint, self.message
-        )
-    }
-}
-
-/// Which path-scoped lints apply to a file. `float-cmp`,
-/// `horizon-literal` and `metric-name` apply everywhere.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct FileSpec {
-    /// `no-panic` (library code of the instrumented crates).
-    pub no_panic: bool,
-    /// `div-guard` (`vb-net::wan` and `vb-stats`).
-    pub div_guard: bool,
-}
-
-/// Run every applicable lint over a scanned file.
-pub fn run_lints(
-    file: &str,
-    scanned: &Scanned,
-    spec: FileSpec,
-    manifest: &Manifest,
-) -> Vec<Finding> {
+/// Run the lexical rules over one file. Index-only files (bench
+/// binaries) check metric names only: they are taint roots and metric
+/// emitters, not general lint subjects.
+pub fn run(file: &PreparedFile, manifest: &Manifest) -> Vec<Finding> {
     let mut findings = Vec::new();
+    let spec = file.spec;
 
-    // Malformed allow directives are hard errors.
-    for err in &scanned.errors {
+    // Metric names are checked file-level so multi-line call sites
+    // (name on the line after the opening paren) are still seen.
+    for site in metric_call_sites(&file.scanned) {
+        if site.in_test {
+            continue;
+        }
+        let (kind, name) = (site.kind, &site.name);
+        let message = if !is_dot_snake(name) {
+            format!("metric name `{name}` is not dot.snake (`crate_area.metric_name`)")
+        } else if !manifest.declares(kind, name) {
+            format!("metric `{name}` is not declared under [{kind}] in metrics-manifest.toml")
+        } else {
+            continue;
+        };
         findings.push(Finding {
-            file: file.to_string(),
-            line: err.line,
-            lint: "allow-parse",
-            message: err.message.clone(),
+            file: file.rel.clone(),
+            line: site.line,
+            lint: "metric-name",
+            message,
         });
     }
 
-    // Directives naming an unknown lint are errors too (typos would
-    // otherwise silently fail to suppress).
-    let mut allowed: BTreeMap<usize, BTreeSet<&str>> = BTreeMap::new();
-    for allow in &scanned.allows {
-        match KNOWN_LINTS.iter().find(|l| **l == allow.lint) {
-            Some(lint) => {
-                allowed.entry(allow.line).or_default().insert(lint);
-            }
-            None => findings.push(Finding {
-                file: file.to_string(),
-                line: allow.line,
-                lint: "allow-parse",
-                message: format!("allow directive names unknown lint `{}`", allow.lint),
-            }),
-        }
-    }
-
-    for (idx, line) in scanned.lines.iter().enumerate() {
+    for (idx, line) in file.scanned.lines.iter().enumerate() {
         if line.in_test {
             continue;
         }
         let lineno = idx + 1;
-        let push = |lint: &'static str, message: String, findings: &mut Vec<Finding>| {
-            if !allowed.get(&lineno).is_some_and(|set| set.contains(lint)) {
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line: lineno,
-                    lint,
-                    message,
-                });
-            }
+        let mut push = |lint: &'static str, message: String| {
+            findings.push(Finding {
+                file: file.rel.clone(),
+                line: lineno,
+                lint,
+                message,
+            });
         };
+
+        if spec.index_only {
+            continue;
+        }
 
         if spec.no_panic {
             for (pat, what) in [
@@ -127,7 +79,6 @@ pub fn run_lints(
                     push(
                         "no-panic",
                         format!("`{what}` in library code; return a Result, fall back with telemetry, or add `vb-audit: allow(no-panic, reason)`"),
-                        &mut findings,
                     );
                 }
             }
@@ -138,7 +89,6 @@ pub fn run_lints(
                 "float-cmp",
                 "`partial_cmp` float ordering; use `total_cmp` for a total order over NaN"
                     .to_string(),
-                &mut findings,
             );
         }
 
@@ -150,27 +100,8 @@ pub fn run_lints(
                     push(
                         "horizon-literal",
                         format!("naked horizon literal `{tok}`; use vb_trace::STEPS_PER_DAY / DAY_AHEAD_STEPS"),
-                        &mut findings,
                     );
                 }
-            }
-        }
-
-        for (kind, name) in metric_call_sites(&line.code, &line.with_strings) {
-            if !is_dot_snake(&name) {
-                push(
-                    "metric-name",
-                    format!("metric name `{name}` is not dot.snake (`crate_area.metric_name`)"),
-                    &mut findings,
-                );
-            } else if !manifest.declares(kind, &name) {
-                push(
-                    "metric-name",
-                    format!(
-                        "metric `{name}` is not declared under [{kind}] in metrics-manifest.toml"
-                    ),
-                    &mut findings,
-                );
             }
         }
 
@@ -181,21 +112,18 @@ pub fn run_lints(
                     continue;
                 }
                 let start = idx.saturating_sub(DIV_GUARD_WINDOW);
-                let guarded = scanned.lines[start..=idx]
+                let guarded = file.scanned.lines[start..=idx]
                     .iter()
                     .any(|l| has_guard_token(&l.code));
                 if !guarded {
                     push(
                         "div-guard",
                         "division without a visible degenerate-denominator guard within the preceding 12 lines".to_string(),
-                        &mut findings,
                     );
                 }
             }
         }
     }
-
-    findings.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
     findings
 }
 
@@ -258,13 +186,26 @@ fn number_tokens(code: &str) -> Vec<String> {
     out
 }
 
-/// Telemetry call sites on a line: `(kind, metric name)` pairs.
+/// One telemetry emission site.
+pub(crate) struct MetricSite {
+    /// Manifest kind the call must be declared under.
+    pub kind: &'static str,
+    pub name: String,
+    /// 1-based line of the metric name.
+    pub line: usize,
+    pub in_test: bool,
+}
+
+/// Telemetry call sites across a whole file.
 ///
 /// The macro name and delimiters are matched against the string-blanked
 /// code view (so a lint pattern inside a string literal can never
 /// register), while the metric name itself is read from the
-/// string-preserving view at the same character offsets.
-fn metric_call_sites(code: &str, with_strings: &str) -> Vec<(&'static str, String)> {
+/// string-preserving view at the same character offsets. The views are
+/// joined across lines first, so a call whose name sits on the line
+/// after the opening paren is still seen — both by `metric-name` and
+/// by the `dead-metric` emission-site collection.
+pub(crate) fn metric_call_sites(scanned: &crate::scanner::Scanned) -> Vec<MetricSite> {
     const PATTERNS: &[(&str, &str)] = &[
         ("float_counter!(", "float_counters"),
         ("counter!(", "counters"),
@@ -273,14 +214,32 @@ fn metric_call_sites(code: &str, with_strings: &str) -> Vec<(&'static str, Strin
         ("span!(", "spans"),
         ("vb_telemetry::event(", "events"),
         ("series_sample(", "series"),
+        ("series_extend(", "series"),
     ];
-    let code_chars: Vec<char> = code.chars().collect();
-    let ws_chars: Vec<char> = with_strings.chars().collect();
+    let mut code_chars: Vec<char> = Vec::new();
+    let mut ws_chars: Vec<char> = Vec::new();
+    // Line number (1-based) and test flag per joined-character offset.
+    let mut line_at: Vec<(usize, bool)> = Vec::new();
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        for c in line.code.chars() {
+            code_chars.push(c);
+            line_at.push((idx + 1, line.in_test));
+        }
+        code_chars.push('\n');
+        line_at.push((idx + 1, line.in_test));
+        ws_chars.extend(line.with_strings.chars());
+        ws_chars.push('\n');
+    }
+
+    let code_joined: String = code_chars.iter().collect();
     let mut out = Vec::new();
     for &(pat, kind) in PATTERNS {
         let mut search_from = 0;
-        while let Some(rel) = find_token(&code_chars[search_from..].iter().collect::<String>(), pat)
+        while let Some(rel) =
+            find_token(&code_joined[char_to_byte(&code_joined, search_from)..], pat)
         {
+            // `find_token` walks chars, so `rel` is a char offset into
+            // the suffix.
             let at = search_from + rel;
             let mut j = at + pat.chars().count();
             while j < code_chars.len() && code_chars[j].is_whitespace() {
@@ -302,10 +261,22 @@ fn metric_call_sites(code: &str, with_strings: &str) -> Vec<(&'static str, Strin
                 continue;
             }
             let name: String = ws_chars[open + 1..close].iter().collect();
-            out.push((kind, name));
+            let (line, in_test) = line_at[open];
+            out.push(MetricSite {
+                kind,
+                name,
+                line,
+                in_test,
+            });
         }
     }
     out
+}
+
+/// Byte offset of the `n`-th char (the views are overwhelmingly ASCII;
+/// this keeps slicing correct when they are not).
+fn char_to_byte(s: &str, n: usize) -> usize {
+    s.char_indices().nth(n).map_or(s.len(), |(b, _)| b)
 }
 
 /// Character columns of division operators on a line (`/` that is not

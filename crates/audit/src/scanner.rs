@@ -339,7 +339,8 @@ fn is_ident(c: char) -> bool {
 }
 
 /// Parse the tail of a directive: `allow(lint-name, reason text)`.
-fn parse_allow(rest: &str) -> Result<(String, String), String> {
+/// Also used by the manifest parser for `#`-comment directives.
+pub(crate) fn parse_allow(rest: &str) -> Result<(String, String), String> {
     let body = rest
         .strip_prefix("allow(")
         .ok_or_else(|| format!("expected `allow(lint, reason)` after `vb-audit:`, got `{rest}`"))?;

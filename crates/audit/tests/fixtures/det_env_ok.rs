@@ -1,0 +1,6 @@
+//! env-read negative: an environment probe no output-affecting entry
+//! point reaches.
+
+pub fn debug_flag() -> bool {
+    std::env::var("FIXTURE_DEBUG").is_ok()
+}

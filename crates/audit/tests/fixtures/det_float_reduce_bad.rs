@@ -1,0 +1,11 @@
+//! float-reduce-order positive: shared-state accumulation inside a
+//! parallel-map closure combines in completion order.
+
+pub fn total_energy(shards: &[Vec<f64>]) -> f64 {
+    let total = std::sync::atomic::AtomicU64::new(0);
+    let _ = vb_par::par_map(shards, |shard| {
+        let sum: f64 = shard.iter().sum();
+        total.fetch_add(sum.to_bits(), std::sync::atomic::Ordering::Relaxed);
+    });
+    f64::from_bits(total.load(std::sync::atomic::Ordering::Relaxed))
+}

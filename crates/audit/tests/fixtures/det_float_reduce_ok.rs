@@ -1,0 +1,7 @@
+//! float-reduce-order negative: per-item values combined index-ordered
+//! after the join.
+
+pub fn total_energy(shards: &[Vec<f64>]) -> f64 {
+    let sums = vb_par::par_map(shards, |shard| shard.iter().sum::<f64>());
+    sums.iter().sum()
+}

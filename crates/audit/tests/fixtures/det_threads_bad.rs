@@ -1,0 +1,15 @@
+//! thread-derived positive: worker counts influencing results inside
+//! `GroupSim::step`.
+
+pub struct GroupSim {
+    shard: usize,
+}
+
+impl GroupSim {
+    pub fn step(&mut self) -> usize {
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let hint = option_env!("VB_THREADS").is_some() as usize;
+        self.shard = (self.shard + 1) % (workers + hint);
+        self.shard
+    }
+}

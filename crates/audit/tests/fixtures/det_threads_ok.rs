@@ -1,0 +1,6 @@
+//! thread-derived negative: a parallelism probe in a helper the entry
+//! points never reach (partitioning, not result logic).
+
+pub fn probe_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

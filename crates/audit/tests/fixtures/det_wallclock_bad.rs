@@ -1,0 +1,12 @@
+//! wallclock-in-logic positive: `Instant::now` inside `Policy::plan`.
+
+pub struct Policy;
+
+impl Policy {
+    pub fn plan(&self, steps: u64) -> u64 {
+        let t0 = std::time::Instant::now();
+        let out = steps * 2;
+        let _elapsed = t0.elapsed();
+        out
+    }
+}

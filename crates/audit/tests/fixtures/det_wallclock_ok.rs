@@ -1,0 +1,12 @@
+//! wallclock-in-logic negative: timing in a helper that no
+//! output-affecting entry point reaches.
+
+pub fn profile_once(steps: u64) -> f64 {
+    let t0 = std::time::Instant::now();
+    let mut acc = 0u64;
+    for i in 0..steps {
+        acc = acc.wrapping_add(i);
+    }
+    let _ = acc;
+    t0.elapsed().as_secs_f64()
+}

@@ -1,5 +1,11 @@
 //! Negative fixture: guarded divisions, literal denominators, and a
 //! reasoned allow for a denominator the guard heuristic cannot see.
+//! The allowed division sits first, outside every guard window.
+
+pub fn per_step(total: f64, steps: f64) -> f64 {
+    // vb-audit: allow(div-guard, steps is validated by the caller's constructor)
+    total / steps
+}
 
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -17,9 +23,4 @@ pub fn share(part: f64, whole: f64) -> f64 {
         return 0.0;
     }
     part / whole
-}
-
-pub fn per_step(total: f64, steps: f64) -> f64 {
-    // vb-audit: allow(div-guard, steps is validated by the caller's constructor)
-    total / steps
 }

@@ -11,7 +11,6 @@ pub fn checked(xs: &[f64]) -> Option<f64> {
 }
 
 pub fn pivot(xs: &[f64]) -> f64 {
-    // vb-audit: allow(no-panic, index bounded by the loop above)
     xs[0]
         .partial_cmp(&1.0) // vb-audit: allow(float-cmp, fixture exercises inline suppression)
         .map(|_| xs[0])

@@ -1,0 +1,7 @@
+//! stale-allow positive: a well-formed directive that suppresses
+//! nothing is itself a finding.
+
+pub fn tidy(xs: &[u64]) -> u64 {
+    // vb-audit: allow(no-panic, the index is always in range)
+    xs.iter().copied().sum()
+}

@@ -1,0 +1,98 @@
+//! Scanner and token-stream edge cases: multi-line raw strings with
+//! `#` guards, nested block comments, and lifetime-vs-char-literal
+//! disambiguation — the places a column-preserving hand lexer is most
+//! likely to lose sync.
+
+use vb_audit::scanner::scan;
+use vb_audit::tokens::{tokenize, TokKind};
+
+#[test]
+fn raw_string_with_hash_guards_spans_lines() {
+    // Everything between r##" and "## is string content — including
+    // the bare `"#` on the middle line, a would-be closer for a
+    // single-guard raw string, and a lint-looking `.unwrap()`.
+    let src = "let q = r##\"first\nmid \"# .unwrap() still inside\nlast\"##;\nlet after = 1;\n";
+    let scanned = scan(src);
+    assert_eq!(scanned.lines.len(), 4);
+    assert!(
+        !scanned.lines[1].code.contains("unwrap"),
+        "raw-string content is blanked in the code view: {:?}",
+        scanned.lines[1].code
+    );
+    assert!(
+        scanned.lines[1].with_strings.contains("unwrap"),
+        "…but preserved in the string view"
+    );
+    assert!(
+        scanned.lines[3].code.contains("let after = 1;"),
+        "the scanner resumes code state after the \"## closer: {:?}",
+        scanned.lines[3].code
+    );
+    // Column preservation: the blanked view keeps every line's width.
+    for (line, src_line) in scanned.lines.iter().zip(src.lines()) {
+        assert_eq!(line.code.chars().count(), src_line.chars().count());
+    }
+}
+
+#[test]
+fn nested_block_comments_strip_to_the_outer_close() {
+    let src = "let a = 1; /* outer /* inner */ still comment */ let b = 2;\nlet c = 3; /* open /* deep */\nstill open */ let d = 4;\n";
+    let scanned = scan(src);
+    assert!(scanned.lines[0].code.contains("let a = 1;"));
+    assert!(
+        scanned.lines[0].code.contains("let b = 2;"),
+        "code after the outer close survives: {:?}",
+        scanned.lines[0].code
+    );
+    assert!(
+        !scanned.lines[0].code.contains("still comment"),
+        "the inner */ does not end the outer comment"
+    );
+    assert!(
+        !scanned.lines[2].code.contains("still open"),
+        "a block comment left open carries across lines"
+    );
+    assert!(
+        scanned.lines[2].code.contains("let d = 4;"),
+        "code resumes after the multi-line close: {:?}",
+        scanned.lines[2].code
+    );
+}
+
+#[test]
+fn lifetimes_and_char_literals_tokenize_apart() {
+    let src = "fn f<'a>(x: &'a str) -> char {\n    let c = 'x';\n    let quote = '\"';\n    let escaped = '\\'';\n    c\n}\n";
+    let scanned = scan(src);
+    let toks = tokenize(&scanned);
+    let lifetimes: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(lifetimes, ["'a", "'a"], "only the lifetimes, not chars");
+    // Char contents are blanked like strings, so none of x / " / the
+    // escaped quote leak into the token stream as identifiers.
+    assert!(
+        !toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "x" && t.line == 2),
+        "char literal content must not tokenize"
+    );
+    // The double quote inside a char literal must not open a string:
+    // the following line still tokenizes normally.
+    assert!(
+        toks.iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "escaped" && t.line == 4),
+        "scanner stays in code state after '\"' char literal"
+    );
+}
+
+#[test]
+fn directive_inside_raw_string_is_not_an_allow() {
+    // A directive-shaped substring inside a raw string is content, not
+    // a suppression.
+    let src = "let doc = r#\"// vb-audit: allow(no-panic, not a directive)\"#;\n";
+    let scanned = scan(src);
+    assert_eq!(scanned.allows.len(), 0, "{:?}", scanned.allows);
+    assert_eq!(scanned.errors.len(), 0, "{:?}", scanned.errors);
+}

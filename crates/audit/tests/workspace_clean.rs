@@ -1,0 +1,21 @@
+//! The audit's own acceptance gate: the workspace this crate ships in
+//! must be clean under every rule — including the audit crate itself
+//! (the self-scan), the manifest's dead-metric direction, and
+//! stale-allow over every existing directive.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_self_audit_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = vb_audit::audit_workspace(&root).expect("workspace audit runs");
+    assert!(
+        findings.is_empty(),
+        "workspace audit found:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -26,6 +26,7 @@ impl BenchRun {
         vb_telemetry::event("bench.start", &[("target", name.into())]);
         BenchRun {
             name,
+            // vb-audit: allow(wallclock-in-logic, elapsed feeds only the bench timing report, which determinism diffs exclude)
             t0: Instant::now(),
         }
     }

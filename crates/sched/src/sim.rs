@@ -579,7 +579,7 @@ pub struct GroupSim {
     dropped_apps: usize,
     vm_decisions: u64,
     /// Last preemptive-move step per app, for the anti-thrash cooldown.
-    moved_at: std::collections::HashMap<AppId, u64>,
+    moved_at: std::collections::BTreeMap<AppId, u64>,
     /// Planned preemptive moves awaiting execution (app, target site).
     pending_moves: VecDeque<(AppId, usize)>,
     /// Per-site `(allocation, budget)` as of the last resume attempt;
@@ -690,7 +690,7 @@ impl GroupSim {
             preemptive_moves: 0,
             dropped_apps: 0,
             vm_decisions: 0,
-            moved_at: std::collections::HashMap::new(),
+            moved_at: std::collections::BTreeMap::new(),
             pending_moves: VecDeque::new(),
             resume_checked: vec![(u32::MAX, u32::MAX); n_sites],
             ev,
